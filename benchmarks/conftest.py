@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure under pytest-benchmark
+timing and asserts its headline shape, so `pytest benchmarks/
+--benchmark-only` doubles as the full-evaluation reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scaling import scale_to_standard
+from repro.core.socs import wireless_socs
+
+
+@pytest.fixture(scope="session")
+def wireless_scaled():
+    """SoCs 1-8 at the 1024-channel anchor."""
+    return [scale_to_standard(record) for record in wireless_socs()]

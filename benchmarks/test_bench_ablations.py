@@ -1,0 +1,163 @@
+"""Ablation benchmarks for the framework's design choices.
+
+Each benchmark varies one modeling decision and reports its effect on a
+headline result, quantifying the sensitivity of the reproduction:
+
+* pipelined vs non-pipelined MAC scheduling (Eq. 11 vs Eq. 14),
+* receiver noise figure (the Fig. 7 calibration knob),
+* earliest-layer vs power-optimal partitioning,
+* input-window size of the workloads,
+* wireless-power-transfer losses applied to the Fig. 10 frontier,
+* lossless-compression ratio on the raw-streaming frontier.
+"""
+
+import pytest
+
+from repro.accel.schedule import schedule_non_pipelined, schedule_pipelined
+from repro.accel.tech import TECH_45NM
+from repro.core.comp_centric import Workload, max_feasible_channels
+from repro.core.partitioning import max_feasible_channels_partitioned
+from repro.core.qam_design import max_channels_at_efficiency
+from repro.core.scaling import scale_to_standard
+from repro.core.socs import soc_by_number
+from repro.dnn.models import build_speech_mlp
+from repro.link.budget import LinkBudget
+from repro.link.wpt import InductiveLink
+
+
+@pytest.fixture(scope="module")
+def bisc():
+    return scale_to_standard(soc_by_number(1))
+
+
+def test_bench_ablation_scheduling_mode(benchmark, bisc):
+    """Pipelining reduces the MAC-unit count for the deep MLP."""
+
+    def run():
+        results = {}
+        deadline = 1.0 / bisc.sampling_hz
+        for n in (1024, 2048):
+            profiles = build_speech_mlp(n).mac_profiles()
+            pooled = schedule_non_pipelined(profiles, deadline, TECH_45NM)
+            piped = schedule_pipelined(profiles, deadline, TECH_45NM)
+            results[n] = (pooled.mac_units if pooled else None,
+                          piped.mac_units if piped else None)
+        return results
+
+    results = benchmark(run)
+    for n, (pooled, piped) in results.items():
+        assert pooled is not None and piped is not None
+        # The best-of-both rule exists because neither dominates a priori;
+        # for this workload the pipeline should never be more than ~2x
+        # the pool and usually wins.
+        assert piped <= 2 * pooled
+    print()
+    print(f"MAC units (pooled, pipelined) per n: {results}")
+
+
+def test_bench_ablation_noise_figure(benchmark, bisc):
+    """Fig. 7 multipliers shift by <2x across plausible noise figures."""
+
+    def run():
+        out = {}
+        for nf in (5.0, 7.0, 9.0):
+            budget = LinkBudget(noise_figure_db=nf)
+            out[nf] = max_channels_at_efficiency(bisc, 0.20, budget)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = list(results.values())
+    assert values == sorted(values, reverse=True)  # lower NF -> more ch
+    assert values[0] <= 2 * values[-1]
+    print()
+    print(f"max channels at 20% efficiency by NF: {results}")
+
+
+def test_bench_ablation_partition_rule(benchmark, bisc):
+    """Power-optimal partitioning never trails the earliest-layer rule."""
+
+    def run():
+        earliest = max_feasible_channels_partitioned(
+            bisc, Workload.MLP, rule="earliest")
+        optimal = max_feasible_channels_partitioned(
+            bisc, Workload.MLP, rule="optimal")
+        return earliest, optimal
+
+    earliest, optimal = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert optimal >= earliest
+    print()
+    print(f"partitioned max channels: earliest={earliest} "
+          f"optimal={optimal}")
+
+
+def test_bench_ablation_input_window(benchmark, bisc):
+    """Doubling the input window shrinks the MLP frontier (bigger first
+    layer), but sublinearly — later layers dominate at scale."""
+
+    def run():
+        import repro.core.comp_centric as comp
+
+        def limit(window):
+            def builder(n):
+                return build_speech_mlp(n, window=window)
+            original = comp._BUILDERS[Workload.MLP]
+            comp._BUILDERS[Workload.MLP] = builder
+            try:
+                return max_feasible_channels(bisc, Workload.MLP)
+            finally:
+                comp._BUILDERS[Workload.MLP] = original
+
+        return {window: limit(window) for window in (2, 4)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results[4] < results[2]
+    assert results[4] > results[2] / 2
+    print()
+    print(f"MLP max channels by input window: {results}")
+
+
+def test_bench_ablation_wpt_budget(benchmark, bisc):
+    """WPT receive losses shrink the Fig. 10 frontier measurably."""
+
+    def run():
+        wired = max_feasible_channels(bisc, Workload.MLP)
+        # Fold the WPT receive chain into the budget and re-run: only
+        # eta_rx of the thermal budget is available as useful power.
+        from repro.core import comp_centric
+
+        eta = InductiveLink().implant_chain_efficiency
+
+        def frontier_with_wpt():
+            best, n = 0, 64
+            while n <= 8192:
+                point = comp_centric.evaluate_comp_centric(
+                    bisc, Workload.MLP, n)
+                budget = point.budget_w * eta
+                if point.total_power_w <= budget:
+                    best = n
+                elif best:
+                    break
+                n += 64
+            return best
+
+        return wired, frontier_with_wpt()
+
+    wired, wpt = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert wpt < wired
+    print()
+    print(f"MLP max channels: wired budget={wired}, WPT-derated={wpt}")
+
+
+def test_bench_ablation_compression_ratio(benchmark, bisc):
+    """Streaming frontier scales with the lossless compression ratio."""
+
+    def run():
+        from repro.core.explorer import _max_channels_compressed
+        return {ratio: _max_channels_compressed(bisc, ratio, 2e-7)
+                for ratio in (1.0, 1.5, 2.0, 3.0)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = list(results.values())
+    assert values == sorted(values)
+    print()
+    print(f"compressed-streaming frontier by ratio: {results}")

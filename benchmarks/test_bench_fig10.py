@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 10 — on-implant DNN power vs budget."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    summary = result.summary
+    assert "BISC" in summary["dncnn_fits_at_1024"]
+    assert 1300 <= summary["mlp_avg_max_channels"] <= 2100
+    assert 1100 <= summary["dncnn_avg_max_channels"] <= 1700
+    print()
+    print(fig10.render(result))

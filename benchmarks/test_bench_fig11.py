@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 11 — partitioning channel gains."""
+
+import pytest
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    assert 1.10 <= result.summary["mlp_avg_gain"] <= 1.35
+    assert result.summary["dncnn_avg_gain"] == pytest.approx(1.0)
+    print()
+    print(fig11.render(result))

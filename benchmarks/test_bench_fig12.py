@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 12 — optimization-ladder model sizes."""
+
+import pytest
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    summary = result.summary
+    assert summary["avg_model_size_pct_2048_ChDr"] == pytest.approx(
+        32.0, abs=12.0)
+    assert summary["avg_model_size_pct_8192_ChDr"] == pytest.approx(
+        2.0, abs=3.0)
+    print()
+    print(fig12.render(result))

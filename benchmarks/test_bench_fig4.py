@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 4 — power vs area at 1024 channels."""
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark(fig4.run)
+    assert result.summary["all_safe"]
+    assert result.summary["max_density_mw_cm2"] <= 40.0 + 1e-9
+    print()
+    print(fig4.render(result))

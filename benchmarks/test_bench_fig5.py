@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 5 — naive vs high-margin power scaling."""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark(fig5.run)
+    assert result.summary["naive_ratio_constant"]
+    assert result.summary["high_margin_all_cross"]
+    print()
+    print(fig5.render(result))

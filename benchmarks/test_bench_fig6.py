@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 6 — sensing-area fraction scaling."""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark(fig6.run)
+    assert result.summary["naive_flat"]
+    assert result.summary["high_margin_monotone"]
+    assert result.summary["high_margin_mean_at_8192"] > 0.8
+    print()
+    print(fig6.render(result))

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 7 — minimum QAM efficiency vs channel count."""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark(fig7.run)
+    # Paper: ~2x channels at 20 % efficiency, ~4x at 100 %.
+    assert result.summary["multiplier_at_20pct"] == pytest.approx(
+        2.0, rel=0.15)
+    assert result.summary["multiplier_at_100pct"] == pytest.approx(
+        4.0, rel=0.20)
+    print()
+    print(fig7.render(result))

@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 8 — MAC decomposition worked examples."""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark(fig8.run)
+    assert result.summary["matmul_matches_paper"]
+    assert result.summary["conv_matches_paper"]
+    print()
+    print(fig8.render(result))

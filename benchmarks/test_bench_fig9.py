@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 9 — accelerator design-point power study."""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark(fig9.run)
+    assert result.summary["pe_fraction_designs_1_5"] == pytest.approx(
+        0.25, abs=0.05)
+    assert result.summary["pe_fraction_design_12"] == pytest.approx(
+        0.96, abs=0.03)
+    print()
+    print(fig9.render(result))

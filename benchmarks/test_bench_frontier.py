@@ -1,0 +1,15 @@
+"""Benchmark: the extension strategy-frontier synthesis table."""
+
+from repro.experiments import frontier
+
+
+def test_bench_frontier(benchmark):
+    result = benchmark.pedantic(frontier.run, rounds=1, iterations=1)
+    # Every wireless SoC appears with every strategy plus tiling.
+    socs = {r["soc"] for r in result.rows}
+    assert len(socs) == 8
+    # Somebody feasible at 2048 exists for the flagship designs.
+    best = result.summary["best_strategy_at_2048"]
+    assert best["BISC"] is not None
+    print()
+    print(frontier.render(result))

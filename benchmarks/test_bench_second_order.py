@@ -1,0 +1,53 @@
+"""Benchmark: second-order factors (memory + routing) vs the Eq. 13 margin.
+
+The paper argues its MAC-only lower bound is conclusive because
+second-order microarchitectural factors fit "using the margin between the
+lower bound and the total power budget".  This bench folds the activation
+memory and interconnect models into the Fig. 10 feasibility check at the
+1024-channel standard and measures how much margin they actually consume.
+"""
+
+from repro.accel.interconnect import InterconnectModel
+from repro.accel.memory import MemoryModel
+from repro.accel.schedule import best_schedule
+from repro.accel.tech import TECH_45NM
+from repro.core.comp_centric import Workload, evaluate_comp_centric
+from repro.core.scaling import scale_to_standard
+from repro.core.socs import soc_by_number
+from repro.dnn.models import build_speech_mlp
+
+
+def test_bench_second_order_overheads(benchmark):
+    def run():
+        rows = []
+        memory = MemoryModel()
+        interconnect = InterconnectModel()
+        for number in (1, 2, 5):  # SoCs whose MLP fits at 1024
+            soc = scale_to_standard(soc_by_number(number))
+            net = build_speech_mlp(1024)
+            point = evaluate_comp_centric(soc, Workload.MLP, 1024)
+            schedule = best_schedule(net.mac_profiles(),
+                                     1.0 / soc.sampling_hz, TECH_45NM)
+            margin = point.budget_w - point.total_power_w
+            mem_power = memory.power_w(net, schedule, soc.sampling_hz)
+            ic_power = interconnect.power_w(net, schedule,
+                                            soc.sampling_hz)
+            rows.append({
+                "soc": soc.name,
+                "mac_mw": point.comp_power_w * 1e3,
+                "memory_mw": mem_power * 1e3,
+                "routing_mw": ic_power * 1e3,
+                "margin_mw": margin * 1e3,
+                "second_order_fits": mem_power + ic_power <= margin,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The paper's premise must hold at the 1024-channel anchor.
+    for row in rows:
+        assert row["second_order_fits"], row["soc"]
+        overhead = row["memory_mw"] + row["routing_mw"]
+        assert overhead < row["mac_mw"]
+    print()
+    from repro.experiments.report import format_table
+    print(format_table(rows))

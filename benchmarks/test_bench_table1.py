@@ -1,0 +1,11 @@
+"""Benchmark: Table 1 regeneration."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1.run)
+    assert len(result.rows) == 11
+    assert result.summary["n_wireless"] == 8
+    print()
+    print(table1.render(result))

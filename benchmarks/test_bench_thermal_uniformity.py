@@ -1,0 +1,39 @@
+"""Benchmark: the Section 3.2 uniform-dissipation assumption, quantified.
+
+Solves the 2-D chip heat equation for a worst-case concentrated power map
+and reports the hotspot ratio across die thicknesses — the condition
+under which a single 40 mW/cm^2 density figure is a faithful safety
+metric.
+"""
+
+from repro.experiments.report import format_table
+from repro.thermal.grid import ChipThermalGrid
+
+BISC_POWER_W = 38.9e-3
+
+
+def test_bench_thermal_uniformity(benchmark):
+    def run():
+        rows = []
+        for thickness_um in (10, 25, 100, 300):
+            grid = ChipThermalGrid(nx=24, ny=24,
+                                   thickness_m=thickness_um * 1e-6)
+            rows.append({
+                "die_thickness_um": thickness_um,
+                "hotspot_ratio": grid.hotspot_ratio(BISC_POWER_W, 0.05),
+                "uniform_rise_k": float(
+                    grid.solve(grid.uniform_map(BISC_POWER_W)).mean()),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratios = [row["hotspot_ratio"] for row in rows]
+    # Thicker silicon -> flatter temperature field (monotone).
+    assert ratios == sorted(ratios, reverse=True)
+    # A standard-thickness die keeps the hotspot within ~2x of uniform.
+    assert rows[-1]["hotspot_ratio"] < 2.0
+    # The uniform field matches the 1-D model the budget relies on.
+    assert abs(rows[0]["uniform_rise_k"] - rows[-1]["uniform_rise_k"]) \
+        < 1e-9
+    print()
+    print(format_table(rows))

@@ -1,0 +1,83 @@
+"""Motor-imagery-style discrete decoding with spectral features + LDA.
+
+The classic discrete BCI pipeline (Section 2's motor-control lineage):
+band-power features from multichannel field potentials, a shrinkage-LDA
+classifier, and the implant-side cost accounting that tells you whether
+this classical pipeline even needs a computation-centric implant (spoiler:
+it does not — that is exactly why the paper's DNN story matters).
+
+Run:  python examples/motor_imagery_classification.py
+"""
+
+import numpy as np
+
+from repro.accel.tech import TECH_45NM
+from repro.decoders import LdaClassifier
+from repro.dnn.macs import fmac_dense
+from repro.experiments.report import format_table
+from repro.signals import band_power_features, synthesize_ecog
+from repro.signals.lfp import OscillatoryBand
+
+FS = 1000.0
+N_CHANNELS = 16
+EPOCH_S = 1.0
+N_EPOCHS = 60
+
+#: Two imagined-movement "states": rest (alpha-dominant) vs movement
+#: (beta desynchronized, gamma bursts).
+REST_BANDS = (OscillatoryBand(10.0, 3.0, 1.6),
+              OscillatoryBand(20.0, 5.0, 0.8))
+MOVE_BANDS = (OscillatoryBand(10.0, 3.0, 0.5),
+              OscillatoryBand(35.0, 10.0, 1.4))
+
+
+def make_epochs(rng: np.random.Generator):
+    """Alternating rest/movement epochs with class-dependent spectra."""
+    features, labels = [], []
+    for i in range(N_EPOCHS):
+        bands = REST_BANDS if i % 2 == 0 else MOVE_BANDS
+        data = synthesize_ecog(N_CHANNELS, EPOCH_S, FS, rng, bands=bands,
+                               spatial_correlation=0.4, noise_rms=0.3)
+        features.append(np.log(band_power_features(data, FS) + 1e-12)
+                        .reshape(-1))
+        labels.append(i % 2)
+    return np.array(features), np.array(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    features, labels = make_epochs(rng)
+    split = 40
+    clf = LdaClassifier(shrinkage=0.2)
+    clf.fit(features[:split], labels[:split])
+    accuracy = clf.score(features[split:], labels[split:])
+    print(f"rest-vs-movement LDA on {N_CHANNELS}-channel synthetic ECoG: "
+          f"{accuracy:.0%} held-out accuracy "
+          f"({features.shape[1]} band-power features)\n")
+
+    # Implant-side cost of this classical pipeline vs a DNN.
+    lda_profile = fmac_dense(features.shape[1], len(clf.classes_))
+    lda_energy = lda_profile.total_macs * TECH_45NM.energy_per_mac_j
+    from repro.dnn.models import build_speech_mlp
+    dnn = build_speech_mlp(128)  # the paper's base speech workload
+    dnn_energy = dnn.total_macs * TECH_45NM.energy_per_mac_j
+    rows = [
+        {"decoder": "band-power + LDA (this example)",
+         "macs_per_decision": lda_profile.total_macs,
+         "energy_nj": lda_energy * 1e9},
+        {"decoder": "speech MLP @128ch (paper's base workload)",
+         "macs_per_decision": dnn.total_macs,
+         "energy_nj": dnn_energy * 1e9},
+        {"decoder": "speech MLP @1024ch (the Fig. 10 regime)",
+         "macs_per_decision": build_speech_mlp(1024).total_macs,
+         "energy_nj": build_speech_mlp(1024).total_macs
+         * TECH_45NM.energy_per_mac_j * 1e9},
+    ]
+    print(format_table(rows))
+    print("\nClassical discrete decoders cost microjoules per *session*; "
+          "the paper's\nfeasibility crisis only appears when decoding "
+          "moves to DNN-scale models.")
+
+
+if __name__ == "__main__":
+    main()

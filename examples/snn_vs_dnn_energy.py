@@ -1,0 +1,67 @@
+"""SNN vs DNN energy study — the paper's Section 7 extension.
+
+Hueber et al. (cited in Related Work) argue spiking networks suit
+closed-loop BCIs because synaptic operations cost a fraction of a MAC and
+only fire on activity.  This example trains nothing — it compares the
+*energy mechanics*: a rate-coded SNN simulated at several input activity
+levels against the equivalent dense MLP's Eq. 13 MAC energy, and finds
+the activity level at which the SNN advantage disappears.
+
+Run:  python examples/snn_vs_dnn_energy.py
+"""
+
+import numpy as np
+
+from repro.accel.tech import TECH_45NM
+from repro.dnn.models import build_speech_mlp
+from repro.dnn.snn import build_speech_snn
+from repro.experiments.report import ascii_plot, format_table
+
+N_CHANNELS = 128
+TIMESTEPS = 16
+INFERENCE_RATE_HZ = 100.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    snn = build_speech_snn(N_CHANNELS, rng=rng)
+    mlp = build_speech_mlp(N_CHANNELS)
+    mac_energy = mlp.total_macs * TECH_45NM.energy_per_mac_j
+
+    print(f"workloads at {N_CHANNELS} channels:")
+    print(f"  MLP: {mlp.total_macs:,} MACs/inference -> "
+          f"{mac_energy * 1e9:.1f} nJ")
+    print(f"  SNN: {snn.n_synapses:,} synapses, {snn.n_neurons} neurons, "
+          f"{TIMESTEPS} timesteps/inference\n")
+
+    rows = []
+    series = {"SNN measured [nJ]": [], "MLP (activity-independent)": []}
+    for activity in (0.01, 0.05, 0.1, 0.2, 0.4, 0.8):
+        rates = rng.uniform(0, 2 * activity, (4, N_CHANNELS)).clip(0, 1)
+        result = snn.run(rates, TIMESTEPS, rng)
+        sops = result.total_sops / 4  # per inference
+        energy = snn.energy_per_inference_j(sops, TIMESTEPS)
+        rows.append({
+            "input_activity": activity,
+            "sops_per_inference": sops,
+            "snn_energy_nj": energy * 1e9,
+            "mlp_energy_nj": mac_energy * 1e9,
+            "snn_wins": energy < mac_energy,
+        })
+        series["SNN measured [nJ]"].append((activity, energy * 1e9))
+        series["MLP (activity-independent)"].append(
+            (activity, mac_energy * 1e9))
+    print(format_table(rows))
+    print()
+    print(ascii_plot(series, x_label="input spike probability/timestep",
+                     y_label="energy per inference [nJ]", height=12))
+
+    snn_power = snn.power_w(rows[1]["sops_per_inference"], TIMESTEPS,
+                            INFERENCE_RATE_HZ)
+    mlp_power = mac_energy * INFERENCE_RATE_HZ
+    print(f"\nat 5% activity and {INFERENCE_RATE_HZ:.0f} decisions/s: "
+          f"SNN {snn_power * 1e6:.1f} uW vs MLP {mlp_power * 1e6:.1f} uW")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Wireless-link study: theory vs simulation for the implant radio.
+
+Reproduces the modulation-level groundwork under the paper's Section 5
+analysis: analytical BER curves validated against Monte-Carlo symbol
+simulation, the energy-per-bit cost of each QAM order through the
+transcutaneous link budget, and what that implies for streaming power.
+
+Run:  python examples/wireless_link_study.py
+"""
+
+import numpy as np
+
+from repro.experiments.report import ascii_plot, format_table
+from repro.link import (
+    BPSK,
+    MQAM,
+    OOK,
+    QPSK,
+    LinkBudget,
+    communication_power,
+    measure_ber,
+    required_ebn0,
+    shannon_ebn0_limit_db,
+)
+from repro.units import to_mbps, to_mw, to_pj
+
+
+def ber_validation(rng: np.random.Generator) -> None:
+    """Theory vs Monte-Carlo BER for the schemes implants use."""
+    print("BER validation (400k bits/point):")
+    rows = []
+    for scheme in (OOK(), BPSK(), QPSK(), MQAM(4)):
+        for ebn0_db in (4.0, 7.0, 10.0):
+            theory = scheme.theoretical_ber(10 ** (ebn0_db / 10))
+            measured = measure_ber(scheme, ebn0_db, 400_000, rng)
+            rows.append({"scheme": scheme.name, "ebn0_db": ebn0_db,
+                         "theory": theory, "measured": measured})
+    print(format_table(rows, float_format="{:.2e}"))
+
+
+def qam_energy_ladder() -> None:
+    """Energy per bit for each QAM order through the tissue link."""
+    budget = LinkBudget()
+    print("\nQAM energy ladder (BER 1e-6, 60 dB path loss, 20 dB margin):")
+    rows = []
+    series = {}
+    for bits in range(1, 9):
+        ideal = budget.transmit_energy_per_bit(bits, efficiency=1.0)
+        real = budget.transmit_energy_per_bit(bits, efficiency=0.15)
+        ebn0_db = 10 * np.log10(required_ebn0(1e-6, bits))
+        rows.append({
+            "bits_per_symbol": bits,
+            "required_ebn0_db": ebn0_db,
+            "shannon_floor_db": shannon_ebn0_limit_db(float(bits)),
+            "ideal_pj_per_bit": to_pj(ideal),
+            "at_15pct_pj_per_bit": to_pj(real),
+        })
+        series.setdefault("ideal Eb [pJ/b]", []).append(
+            (bits, to_pj(ideal)))
+    print(format_table(rows))
+    print()
+    print(ascii_plot(series, x_label="bits/symbol", y_label="Eb [pJ/bit]",
+                     height=10))
+
+
+def streaming_power() -> None:
+    """Eq. 9 streaming power for the 1024-channel standard."""
+    budget = LinkBudget()
+    throughput = 1024 * 10 * 8e3  # n * d * f, the paper's example
+    print(f"\nstreaming {to_mbps(throughput):.1f} Mbps "
+          "(1024 ch x 10 b x 8 kHz):")
+    for bits, eff in ((1, 0.15), (2, 0.15), (4, 0.15), (4, 1.0)):
+        energy = budget.transmit_energy_per_bit(bits, efficiency=eff)
+        power = communication_power(throughput, energy)
+        print(f"  {2 ** bits:>3d}-point modulation at {eff:>4.0%} "
+              f"efficiency: {to_mw(power):6.2f} mW")
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    ber_validation(rng)
+    qam_energy_ladder()
+    streaming_power()
+
+
+if __name__ == "__main__":
+    main()

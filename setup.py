@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e . --no-use-pep517 --no-build-isolation``
+takes this legacy path instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Weight-stationary DNN accelerator model (paper Section 5.3, Fig. 9).
+
+The paper bounds on-implant DNN power from below by counting the MAC units
+(``#MAChw``) a layer schedule needs to meet the real-time deadline, then
+charging each unit its post-synthesis power.  This package implements:
+
+* the technology library with the paper's published MAC synthesis points
+  (45 nm: tMAC = 2 ns / PMAC = 0.05 mW; 12 nm: tMAC = 1 ns /
+  PMAC = 0.026 mW; 130 nm for the Fig. 9 accelerator),
+* the schedule solvers of Eq. 11-12 (non-pipelined) and Eq. 14-15
+  (pipelined) that minimize ``#MAChw``,
+* the component-level accelerator power model reproducing the Fig. 9
+  design-point study (PE power fraction 25 % -> ~96 %), and
+* a cycle-approximate functional simulator that executes a dense layer on
+  the PE array and checks both results and cycle counts against the
+  analytical model.
+"""
+
+from repro.accel.tech import (
+    TechnologyNode,
+    TECH_130NM,
+    TECH_45NM,
+    TECH_12NM,
+    technology_by_name,
+)
+from repro.accel.schedule import (
+    Schedule,
+    schedule_non_pipelined,
+    schedule_pipelined,
+    best_schedule,
+    compute_power_lower_bound,
+)
+from repro.accel.power import (
+    AcceleratorPowerModel,
+    LayerDesignPoint,
+    FIG9_DESIGN_POINTS,
+    fig9_power_table,
+)
+from repro.accel.simulate import PEArraySimulator, SimulationResult
+from repro.accel.memory import MemoryModel, MarginReport, assess_memory_margin
+from repro.accel.interconnect import InterconnectModel
+
+__all__ = [
+    "TechnologyNode",
+    "TECH_130NM",
+    "TECH_45NM",
+    "TECH_12NM",
+    "technology_by_name",
+    "Schedule",
+    "schedule_non_pipelined",
+    "schedule_pipelined",
+    "best_schedule",
+    "compute_power_lower_bound",
+    "AcceleratorPowerModel",
+    "LayerDesignPoint",
+    "FIG9_DESIGN_POINTS",
+    "fig9_power_table",
+    "PEArraySimulator",
+    "SimulationResult",
+    "MemoryModel",
+    "MarginReport",
+    "assess_memory_margin",
+    "InterconnectModel",
+]

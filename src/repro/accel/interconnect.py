@@ -1,0 +1,106 @@
+"""On-chip interconnect model — the routing overhead of Section 8.
+
+"As designs grow, secondary power effects such as routing overhead ...
+will become more significant."  For the weight-stationary PE array the
+dominant wires are the input broadcast (one activation to all PEs each
+cycle) and the output collection tree.  Wire energy scales with length;
+array side length scales with sqrt(#PE * PE area), so broadcast energy
+per bit grows as sqrt(MAChw) — sub-linear, but no longer negligible at
+the hundreds-of-PEs scale of the Fig. 9 large designs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.schedule import Schedule
+from repro.accel.tech import TechnologyNode
+from repro.dnn.network import Network
+
+#: Wire energy per bit per millimeter at 45 nm-class nodes [J/(bit*mm)].
+DEFAULT_WIRE_ENERGY_J_PER_BIT_MM = 6e-14
+
+#: PE tile area including its ROM slice [mm^2].
+DEFAULT_PE_AREA_MM2 = 0.01
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Broadcast/collection wiring energy of a PE array.
+
+    Attributes:
+        wire_energy_j_per_bit_mm: switching energy per bit per mm.
+        pe_area_mm2: physical footprint of one PE tile.
+        word_bits: activation word width on the wires.
+    """
+
+    wire_energy_j_per_bit_mm: float = DEFAULT_WIRE_ENERGY_J_PER_BIT_MM
+    pe_area_mm2: float = DEFAULT_PE_AREA_MM2
+    word_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.wire_energy_j_per_bit_mm < 0:
+            raise ValueError("wire energy must be non-negative")
+        if self.pe_area_mm2 <= 0:
+            raise ValueError("PE area must be positive")
+        if self.word_bits < 1:
+            raise ValueError("word width must be >= 1")
+
+    def array_side_mm(self, mac_units: int) -> float:
+        """Side length of a square array of ``mac_units`` PEs."""
+        if mac_units < 1:
+            raise ValueError("need at least one PE")
+        return math.sqrt(mac_units * self.pe_area_mm2)
+
+    def broadcast_energy_per_word_j(self, mac_units: int) -> float:
+        """Energy to broadcast one activation word across the array.
+
+        An H-tree broadcast drives total wire length ~ 2x the array side
+        per level-summed distribution; the standard first-order estimate
+        charges one traversal of the array diagonal.
+        """
+        length = math.sqrt(2.0) * self.array_side_mm(mac_units)
+        return self.word_bits * self.wire_energy_j_per_bit_mm * length
+
+    def inference_energy_j(self, network: Network,
+                           schedule: Schedule) -> float:
+        """Interconnect energy of one inference.
+
+        Per layer: one broadcast per accumulation step per round (input
+        distribution) plus one collection per MACop (output gather), each
+        traversing the allocated sub-array.
+        """
+        profiles = network.mac_profiles()
+        if len(profiles) != len(schedule.per_layer_units):
+            raise ValueError("schedule does not match the network")
+        total = 0.0
+        for profile, units in zip(profiles, schedule.per_layer_units):
+            per_word = self.broadcast_energy_per_word_j(units)
+            rounds = math.ceil(profile.mac_ops / units)
+            broadcasts = profile.mac_seq * rounds
+            collections = profile.mac_ops
+            total += (broadcasts + collections) * per_word
+        return total
+
+    def power_w(self, network: Network, schedule: Schedule,
+                inference_rate_hz: float) -> float:
+        """Average interconnect power at an inference rate.
+
+        Raises:
+            ValueError: for non-positive rates.
+        """
+        if inference_rate_hz <= 0:
+            raise ValueError("inference rate must be positive")
+        return (self.inference_energy_j(network, schedule)
+                * inference_rate_hz)
+
+    def overhead_fraction(self, network: Network, schedule: Schedule,
+                          inference_rate_hz: float,
+                          tech: TechnologyNode) -> float:
+        """Interconnect power relative to the Eq. 13 MAC bound."""
+        mac_power = schedule.power_w(tech)
+        if mac_power == 0:
+            return math.inf
+        return self.power_w(network, schedule,
+                            inference_rate_hz) / mac_power

@@ -1,0 +1,144 @@
+"""Second-order accelerator costs: on-chip memory traffic and buffers.
+
+The Eq. 13 bound deliberately excludes "overheads from local memory,
+routing, and data movement"; the paper argues such second-order factors
+"may be incorporated using the margin between the lower bound and the
+total power budget".  This module provides that incorporation: an SRAM
+energy model, per-layer buffer sizing from the actual network shapes, and
+the resulting memory power — so analyses can report how much of the
+margin the memory system actually eats.
+
+Access counts per inference for a weight-stationary PE array:
+
+* weight reads: one per MAC step (from the PE-local ROM — already inside
+  the Fig. 9 PE model, so *excluded* here);
+* input-activation reads: each MACop streams the layer input once, but a
+  broadcast bus amortizes it across the ``MAChw`` parallel PEs — so
+  ``MACseq * ceil(MACop / MAChw)`` reads;
+* output-activation writes: one per MACop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.schedule import Schedule
+from repro.accel.tech import TechnologyNode
+from repro.dnn.macs import LayerMacs
+from repro.dnn.network import Network
+
+#: SRAM read/write energy per (8-bit) access at 45 nm-class nodes [J].
+DEFAULT_SRAM_ACCESS_ENERGY_J = 5e-14
+
+#: SRAM leakage per stored bit [W].
+DEFAULT_SRAM_LEAKAGE_W_PER_BIT = 1e-11
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """On-chip activation-buffer energy model.
+
+    Attributes:
+        access_energy_j: energy per buffer access (one activation word).
+        leakage_w_per_bit: standby power per stored bit.
+        word_bits: activation word width (the paper's 8-bit datatype).
+    """
+
+    access_energy_j: float = DEFAULT_SRAM_ACCESS_ENERGY_J
+    leakage_w_per_bit: float = DEFAULT_SRAM_LEAKAGE_W_PER_BIT
+    word_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.access_energy_j < 0 or self.leakage_w_per_bit < 0:
+            raise ValueError("energies must be non-negative")
+        if self.word_bits < 1:
+            raise ValueError("word width must be >= 1")
+
+    def layer_accesses(self, profile: LayerMacs, mac_units: int) -> int:
+        """Buffer accesses for one layer inference (reads + writes)."""
+        if mac_units < 1:
+            raise ValueError("need at least one MAC unit")
+        rounds = math.ceil(profile.mac_ops / mac_units)
+        input_reads = profile.mac_seq * rounds
+        output_writes = profile.mac_ops
+        return input_reads + output_writes
+
+    def buffer_bits(self, network: Network) -> int:
+        """Double-buffered activation storage for the widest boundary."""
+        input_values = 1
+        for dim in network.input_shape:
+            input_values *= dim
+        widest = max([input_values]
+                     + network.compute_layer_output_values())
+        return 2 * widest * self.word_bits
+
+    def inference_energy_j(self, network: Network,
+                           schedule: Schedule) -> float:
+        """Activation-traffic energy of one inference [J]."""
+        profiles = network.mac_profiles()
+        if len(profiles) != len(schedule.per_layer_units):
+            raise ValueError("schedule does not match the network")
+        accesses = sum(
+            self.layer_accesses(profile, units)
+            for profile, units in zip(profiles, schedule.per_layer_units))
+        return accesses * self.access_energy_j
+
+    def power_w(self, network: Network, schedule: Schedule,
+                inference_rate_hz: float) -> float:
+        """Average memory power: dynamic traffic plus buffer leakage."""
+        if inference_rate_hz <= 0:
+            raise ValueError("inference rate must be positive")
+        dynamic = (self.inference_energy_j(network, schedule)
+                   * inference_rate_hz)
+        leakage = self.buffer_bits(network) * self.leakage_w_per_bit
+        return dynamic + leakage
+
+
+@dataclass(frozen=True)
+class MarginReport:
+    """How second-order memory costs consume the Eq. 13 margin.
+
+    Attributes:
+        mac_power_w: the Eq. 13 lower bound.
+        memory_power_w: activation buffer power.
+        available_margin_w: budget headroom above the lower bound.
+    """
+
+    mac_power_w: float
+    memory_power_w: float
+    available_margin_w: float
+
+    @property
+    def memory_overhead_fraction(self) -> float:
+        """Memory power relative to the MAC lower bound."""
+        if self.mac_power_w == 0:
+            return math.inf if self.memory_power_w else 0.0
+        return self.memory_power_w / self.mac_power_w
+
+    @property
+    def margin_consumed_fraction(self) -> float:
+        """Share of the remaining budget margin the memory system eats."""
+        if self.available_margin_w <= 0:
+            return math.inf
+        return self.memory_power_w / self.available_margin_w
+
+    @property
+    def still_fits(self) -> bool:
+        """True while memory fits inside the available margin."""
+        return self.memory_power_w <= self.available_margin_w
+
+
+def assess_memory_margin(network: Network, schedule: Schedule,
+                         inference_rate_hz: float,
+                         budget_margin_w: float,
+                         tech: TechnologyNode,
+                         model: MemoryModel | None = None) -> MarginReport:
+    """Fold the memory model into a Fig. 10-style feasibility check."""
+    model = model or MemoryModel()
+    return MarginReport(
+        mac_power_w=schedule.power_w(tech),
+        memory_power_w=model.power_w(network, schedule,
+                                     inference_rate_hz),
+        available_margin_w=budget_margin_w,
+    )

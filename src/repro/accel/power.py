@@ -1,0 +1,142 @@
+"""Component-level accelerator power model reproducing Fig. 9.
+
+The Fig. 9 accelerator is a DNN-layer engine: a dataflow FSM with input and
+output registers drives an array of ``MAChw`` processing elements, each
+containing a MAC unit, a ReLU, a small FSM, and a ROM holding its share of
+the layer's weights.  The paper synthesizes twelve design points in 130 nm
+and observes that PE power grows from ~25 % of layer power in small designs
+to ~96 % in large ones, justifying the MAC-only lower bound used downstream.
+
+This model charges (DESIGN.md substitution 1):
+
+* per PE: the MAC/ReLU/FSM core (``p_pe_core``) plus its ROM words
+  (``p_rom_word`` each; a PE time-multiplexing k MACop stores
+  ``k * MACseq`` weights),
+* for the layer control: a fixed dataflow FSM (``p_ctrl_base``) plus
+  input registers (MACseq of them) and output registers (#MACop).
+
+The default coefficients are fitted to the Fig. 9 trend (25 % PE share for
+designs 1-5, ~80 % at design 9, ~96 % at design 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.tech import TECH_130NM, TechnologyNode
+
+
+@dataclass(frozen=True)
+class LayerDesignPoint:
+    """One Fig. 9 accelerator configuration.
+
+    Attributes:
+        index: 1-based design number as in the Fig. 9 table.
+        mac_seq: accumulate depth per MACop.
+        mac_hw: physical MAC units instantiated.
+        mac_ops: independent MACop in the layer.
+    """
+
+    index: int
+    mac_seq: int
+    mac_hw: int
+    mac_ops: int
+
+    def __post_init__(self) -> None:
+        if min(self.mac_seq, self.mac_hw, self.mac_ops) <= 0:
+            raise ValueError("design-point parameters must be positive")
+        if self.mac_hw > self.mac_ops:
+            raise ValueError("#MAChw cannot exceed #MACop (Eq. 12)")
+
+    @property
+    def rom_words_per_pe(self) -> int:
+        """Weights stored in each PE's ROM."""
+        return math.ceil(self.mac_ops / self.mac_hw) * self.mac_seq
+
+
+#: The twelve design points of the Fig. 9 table.
+FIG9_DESIGN_POINTS: tuple[LayerDesignPoint, ...] = (
+    LayerDesignPoint(1, 256, 4, 4),
+    LayerDesignPoint(2, 256, 4, 8),
+    LayerDesignPoint(3, 256, 4, 16),
+    LayerDesignPoint(4, 256, 4, 32),
+    LayerDesignPoint(5, 256, 4, 64),
+    LayerDesignPoint(6, 256, 8, 64),
+    LayerDesignPoint(7, 256, 16, 64),
+    LayerDesignPoint(8, 256, 32, 64),
+    LayerDesignPoint(9, 256, 64, 64),
+    LayerDesignPoint(10, 512, 128, 128),
+    LayerDesignPoint(11, 1024, 256, 256),
+    LayerDesignPoint(12, 2048, 512, 512),
+)
+
+
+@dataclass(frozen=True)
+class AcceleratorPowerModel:
+    """Power coefficients of the Fig. 9 layer accelerator.
+
+    Attributes:
+        tech: technology node providing the MAC core power.
+        p_rom_word_w: ROM leakage+read power per stored weight word [W].
+        p_reg_w: power per input/output register [W].
+        p_ctrl_base_w: fixed dataflow-FSM power [W].
+        pe_overhead_w: non-MAC PE logic (ReLU + local FSM) [W].
+    """
+
+    tech: TechnologyNode = TECH_130NM
+    p_rom_word_w: float = 1e-9
+    p_reg_w: float = 7.68e-7
+    p_ctrl_base_w: float = 1.0e-3
+    pe_overhead_w: float = 0.0
+
+    @property
+    def p_pe_core_w(self) -> float:
+        """Power of one PE's MAC + ReLU + FSM core."""
+        return self.tech.p_mac_w + self.pe_overhead_w
+
+    def pe_power(self, point: LayerDesignPoint) -> float:
+        """Total PE-array power [W] for a design point."""
+        per_pe = self.p_pe_core_w + self.p_rom_word_w * point.rom_words_per_pe
+        return point.mac_hw * per_pe
+
+    def control_power(self, point: LayerDesignPoint) -> float:
+        """Dataflow FSM + register power [W] for a design point."""
+        registers = point.mac_seq + point.mac_ops
+        return self.p_ctrl_base_w + self.p_reg_w * registers
+
+    def layer_power(self, point: LayerDesignPoint) -> float:
+        """Total accelerator power [W] for a design point."""
+        return self.pe_power(point) + self.control_power(point)
+
+    def pe_fraction(self, point: LayerDesignPoint) -> float:
+        """PE power / layer power — the Fig. 9 right-hand series."""
+        return self.pe_power(point) / self.layer_power(point)
+
+    def layer_latency_s(self, point: LayerDesignPoint) -> float:
+        """Execution time of the layer (Eq. 11 with this allocation)."""
+        rounds = math.ceil(point.mac_ops / point.mac_hw)
+        return point.mac_seq * self.tech.t_mac_s * rounds
+
+
+def fig9_power_table(model: AcceleratorPowerModel | None = None,
+                     ) -> list[dict[str, float]]:
+    """The Fig. 9 dataset: one row per design point.
+
+    Returns:
+        Rows with keys: design, mac_seq, mac_hw, mac_ops, layer_power_mw,
+        pe_power_mw, pe_fraction.
+    """
+    model = model or AcceleratorPowerModel()
+    rows = []
+    for point in FIG9_DESIGN_POINTS:
+        rows.append({
+            "design": point.index,
+            "mac_seq": point.mac_seq,
+            "mac_hw": point.mac_hw,
+            "mac_ops": point.mac_ops,
+            "layer_power_mw": model.layer_power(point) * 1e3,
+            "pe_power_mw": model.pe_power(point) * 1e3,
+            "pe_fraction": model.pe_fraction(point),
+        })
+    return rows

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — list the Table 1 designs.
+* ``evaluate [NAMES...]`` — regenerate paper tables/figures (default all),
+  printing each rendering and writing CSVs.
+* ``assess SOC`` — scale one Table 1 design to 1024 channels and print its
+  safety report and headline feasibility numbers.
+* ``explore SOC`` — run the full strategy comparison for one design.
+* ``roadmap SOC`` — years until the channel-count trend overtakes each
+  strategy's frontier.
+* ``validate`` — score every machine-checkable paper claim against the
+  regenerated results (exit code 0 when all pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.explorer import explore
+from repro.core.scaling import scale_to_standard
+from repro.core.socs import TABLE1, soc_by_number
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.report import DEFAULT_OUTPUT_DIR, format_table
+from repro.thermal.budget import assess as thermal_assess
+from repro.units import to_mbps, to_mm2, to_mw
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    rows = [{"number": r.number, "name": r.name,
+             "channels": r.n_channels, "wireless": r.wireless}
+            for r in TABLE1]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    wanted = set(args.names) if args.names else None
+    known = {module.__name__.rsplit(".", 1)[-1]: module
+             for module in ALL_EXPERIMENTS}
+    if wanted:
+        unknown = wanted - set(known)
+        if unknown:
+            print(f"unknown experiments: {sorted(unknown)}; "
+                  f"available: {sorted(known)}", file=sys.stderr)
+            return 2
+    for name, module in known.items():
+        if wanted and name not in wanted:
+            continue
+        result = module.run()
+        result.save_csv(args.output_dir)
+        print(f"== {result.title} ==")
+        print(module.render(result))
+        print()
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    try:
+        record = soc_by_number(args.soc)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    soc = scale_to_standard(record)
+    print(f"{soc.name} scaled to {soc.n_channels} channels:")
+    print(f"  area  {to_mm2(soc.area_m2):8.1f} mm^2")
+    print(f"  power {to_mw(soc.power_w):8.2f} mW")
+    print(f"  raw throughput {to_mbps(soc.sensing_throughput_bps()):.1f} "
+          f"Mbps")
+    print(f"  {thermal_assess(soc.power_w, soc.area_m2).describe()}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    try:
+        record = soc_by_number(args.soc)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if not record.wireless:
+        print(f"{record.name} is wired; the strategy exploration targets "
+              "wireless designs (SoCs 1-8)", file=sys.stderr)
+        return 2
+    soc = scale_to_standard(record)
+    report = explore(soc, target_channels=args.channels)
+    rows = [{"strategy": o.strategy,
+             "max_channels": o.max_channels,
+             f"ratio@{args.channels}": o.power_ratio_at_target,
+             "feasible": o.feasible_at_target}
+            for o in report.outcomes]
+    print(f"strategy exploration for {soc.name} "
+          f"(target {args.channels} channels):")
+    print(format_table(rows))
+    best = report.best_strategy()
+    if best is None:
+        print("no strategy is feasible at the target channel count")
+    else:
+        print(f"best at target: {best.strategy} "
+              f"(ratio {best.power_ratio_at_target:.2f})")
+    return 0
+
+
+def _cmd_roadmap(args: argparse.Namespace) -> int:
+    try:
+        record = soc_by_number(args.soc)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if not record.wireless:
+        print(f"{record.name} is wired; roadmap targets wireless designs",
+              file=sys.stderr)
+        return 2
+    from repro.core.roadmap import ChannelRoadmap
+    soc = scale_to_standard(record)
+    roadmap = ChannelRoadmap(doubling_years=args.doubling_years)
+    report = explore(soc, target_channels=2048)
+    rows = []
+    for outcome in report.outcomes:
+        horizon = roadmap.strategy_horizon(outcome.max_channels)
+        rows.append({
+            "strategy": outcome.strategy,
+            "max_channels": outcome.max_channels,
+            "overtaken_in": ("never" if horizon == float("inf")
+                             else f"{horizon:.0f}"),
+        })
+    print(f"channel-count roadmap for {soc.name} "
+          f"(doubling every {roadmap.doubling_years:g} years):")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_validate(_: argparse.Namespace) -> int:
+    from repro.experiments.validate import render_results, validate_all
+    results = validate_all()
+    print(render_results(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MINDFUL implantable-BCI design framework")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 1 designs").set_defaults(
+        func=_cmd_list)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="regenerate paper tables/figures")
+    evaluate.add_argument("names", nargs="*",
+                          help="experiment ids (default: all)")
+    evaluate.add_argument("--output-dir", default=str(DEFAULT_OUTPUT_DIR))
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    assess = sub.add_parser("assess",
+                            help="scale and safety-check one design")
+    assess.add_argument("soc", type=int, help="Table 1 index (1-11)")
+    assess.set_defaults(func=_cmd_assess)
+
+    explore_cmd = sub.add_parser(
+        "explore", help="compare all strategies for one design")
+    explore_cmd.add_argument("soc", type=int, help="Table 1 index (1-8)")
+    explore_cmd.add_argument("--channels", type=int, default=2048)
+    explore_cmd.set_defaults(func=_cmd_explore)
+
+    roadmap_cmd = sub.add_parser(
+        "roadmap", help="years until the channel trend overtakes each "
+                        "strategy")
+    roadmap_cmd.add_argument("soc", type=int, help="Table 1 index (1-8)")
+    roadmap_cmd.add_argument("--doubling-years", type=float, default=7.0)
+    roadmap_cmd.set_defaults(func=_cmd_roadmap)
+
+    sub.add_parser(
+        "validate",
+        help="score every paper claim against the regenerated results",
+    ).set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

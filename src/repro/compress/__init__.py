@@ -1,0 +1,34 @@
+"""Neural-data compression substrate.
+
+Section 6.2 argues that spike-sorting-style data reduction suits implants
+better than "standard compression techniques", which need memory and extra
+computational steps.  To make that comparison quantitative, this package
+implements the standard techniques: delta predictive coding and Rice/Golomb
+entropy coding (the classic low-memory lossless scheme for neural data, as
+used by data-compressive recording ICs such as Jang et al., Table 1 #10),
+plus the bit-accounting needed to fold compression into the Eq. 9
+communication power.
+"""
+
+from repro.compress.delta import delta_encode, delta_decode
+from repro.compress.rice import (
+    rice_encode,
+    rice_decode,
+    optimal_rice_parameter,
+)
+from repro.compress.pipeline import (
+    CompressionResult,
+    NeuralCompressor,
+    compression_ratio,
+)
+
+__all__ = [
+    "delta_encode",
+    "delta_decode",
+    "rice_encode",
+    "rice_decode",
+    "optimal_rice_parameter",
+    "CompressionResult",
+    "NeuralCompressor",
+    "compression_ratio",
+]

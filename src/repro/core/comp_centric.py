@@ -1,0 +1,168 @@
+"""Computation-centric architectures with on-implant DNNs (Fig. 10).
+
+Paper Section 5.3: instead of streaming raw data, the implant runs the DNN
+and transmits only its output (Eq. 8), paying the Eq. 13 compute power
+lower bound:
+
+    P_soc(n) = P_sensing(n) + P_comp(n) + T_comm(n_out) * Eb
+
+where P_comp comes from the best of the pipelined / non-pipelined MAC
+schedules under the real-time deadline t = 1/f, and the non-sensing area
+is reused for computation (as in the QAM analysis, it must not grow).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.accel.schedule import Schedule, best_schedule
+from repro.accel.tech import TECH_45NM, TechnologyNode
+from repro.core.scaling import ScaledSoC
+from repro.dnn.models import build_speech_dncnn, build_speech_mlp
+from repro.dnn.network import Network
+from repro.units import SAFE_POWER_DENSITY
+
+
+class Workload(enum.Enum):
+    """The paper's two Section 5.3 DNN workloads."""
+
+    MLP = "mlp"
+    DNCNN = "dncnn"
+
+
+#: Workload -> shape-only network builder.
+_BUILDERS: dict[Workload, Callable[[int], Network]] = {
+    Workload.MLP: build_speech_mlp,
+    Workload.DNCNN: build_speech_dncnn,
+}
+
+
+def build_workload(workload: Workload, n_channels: int) -> Network:
+    """Shape-only network for a workload at a channel count."""
+    return _BUILDERS[workload](n_channels)
+
+
+@dataclass(frozen=True)
+class CompCentricPoint:
+    """One (SoC, workload, n) computation-centric evaluation.
+
+    Attributes:
+        soc_name: design name.
+        workload: which DNN runs on the implant.
+        n_channels: NI channel count (also the DNN's input channel count).
+        sensing_power_w: Eq. 5 sensing power.
+        comp_power_w: Eq. 13 lower bound (``inf`` if no schedule meets the
+            deadline).
+        comm_power_w: Eq. 8/9 output-transmission power.
+        budget_w: Eq. 3 budget over sensing area + frozen non-sensing area.
+        schedule: the winning MAC schedule (None when infeasible).
+        total_macs: accumulate steps per inference.
+        model_parameters: trainable parameter count ("model size").
+    """
+
+    soc_name: str
+    workload: Workload
+    n_channels: int
+    sensing_power_w: float
+    comp_power_w: float
+    comm_power_w: float
+    budget_w: float
+    schedule: Schedule | None
+    total_macs: int
+    model_parameters: int
+
+    @property
+    def total_power_w(self) -> float:
+        """P_soc(n) including the DNN lower bound."""
+        return self.sensing_power_w + self.comp_power_w + self.comm_power_w
+
+    @property
+    def power_ratio(self) -> float:
+        """P_soc / P_budget — the Fig. 10 y-axis."""
+        return self.total_power_w / self.budget_w
+
+    @property
+    def fits(self) -> bool:
+        """True when the DNN integrates within the power budget."""
+        return self.power_ratio <= 1.0
+
+
+def evaluate_comp_centric(soc: ScaledSoC,
+                          workload: Workload,
+                          n_channels: int,
+                          tech: TechnologyNode = TECH_45NM,
+                          network: Network | None = None,
+                          ) -> CompCentricPoint:
+    """Project a scaled SoC running a DNN workload at ``n_channels``.
+
+    Args:
+        soc: the 1024-channel anchor design.
+        workload: MLP or DN-CNN.
+        n_channels: target channel count (the DNN input scales with it).
+        tech: MAC technology node (45 nm in Fig. 10; 12 nm for the
+            technology-scaling optimization).
+        network: pre-built network override (used by the optimization
+            ladder to evaluate channel-dropout-reduced models).
+    """
+    if n_channels <= 0:
+        raise ValueError("channel count must be positive")
+    net = network or build_workload(workload, n_channels)
+    deadline = 1.0 / soc.sampling_hz
+    schedule = best_schedule(net.mac_profiles(), deadline, tech)
+    comp_power = schedule.power_w(tech) if schedule else math.inf
+
+    comm_power = (net.output_values * soc.sample_bits * soc.sampling_hz
+                  * soc.implied_energy_per_bit_j)
+    area = soc.sensing_area_m2(n_channels) + soc.non_sensing_area_m2
+    return CompCentricPoint(
+        soc_name=soc.name,
+        workload=workload,
+        n_channels=n_channels,
+        sensing_power_w=soc.sensing_power_w(n_channels),
+        comp_power_w=comp_power,
+        comm_power_w=comm_power,
+        budget_w=area * SAFE_POWER_DENSITY,
+        schedule=schedule,
+        total_macs=net.total_macs,
+        model_parameters=net.n_parameters,
+    )
+
+
+def sweep_comp_centric(soc: ScaledSoC,
+                       workload: Workload,
+                       channel_counts: list[int],
+                       tech: TechnologyNode = TECH_45NM,
+                       ) -> list[CompCentricPoint]:
+    """Fig. 10 series for one SoC and workload."""
+    return [evaluate_comp_centric(soc, workload, n, tech)
+            for n in channel_counts]
+
+
+def max_feasible_channels(soc: ScaledSoC,
+                          workload: Workload,
+                          tech: TechnologyNode = TECH_45NM,
+                          step: int = 64,
+                          n_limit: int = 16384) -> int:
+    """Largest n at which the workload still fits the power budget.
+
+    Scans upward in ``step`` increments from ``step`` (the feasibility
+    frontier is effectively monotone — compute power grows quadratically
+    while the budget grows linearly — but depth changes make it only
+    piecewise smooth, so scanning beats bisection for robustness).
+
+    Returns:
+        The maximum feasible channel count, or 0 when the workload never
+        fits this SoC.
+    """
+    best = 0
+    n = step
+    while n <= n_limit:
+        if evaluate_comp_centric(soc, workload, n, tech).fits:
+            best = n
+        elif best:
+            break
+        n += step
+    return best

@@ -1,0 +1,221 @@
+"""Design-space explorer: every architectural strategy, one verdict table.
+
+Composes the framework's strategy evaluators — raw OOK streaming (naive /
+high-margin), advanced modulation, lossless-compressed streaming,
+event-driven spike streaming, and on-implant DNNs (full and partitioned) —
+into a single per-SoC exploration: the maximum safe channel count each
+strategy reaches and which strategy wins at a target channel count.
+
+This is the "tailoring BCI systems to application needs" workflow the
+paper's conclusions call for, packaged as an API (and surfaced by
+``python -m repro explore``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.tech import TECH_45NM, TechnologyNode
+from repro.core.comm_centric import (
+    DesignHypothesis,
+    budget_crossing_channels,
+    evaluate_comm_centric,
+)
+from repro.core.comp_centric import (
+    Workload,
+    evaluate_comp_centric,
+    max_feasible_channels,
+)
+from repro.core.event_stream import (
+    EventStreamConfig,
+    evaluate_event_stream,
+    max_channels_event_stream,
+)
+from repro.core.partitioning import (
+    evaluate_partitioned,
+    max_feasible_channels_partitioned,
+)
+from repro.core.qam_design import (
+    evaluate_qam_design,
+    max_channels_at_efficiency,
+)
+from repro.core.scaling import ScaledSoC
+from repro.units import SAFE_POWER_DENSITY
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One strategy's verdict for a SoC.
+
+    Attributes:
+        strategy: strategy label.
+        max_channels: largest safe channel count (None when unbounded
+            within the explored limit).
+        power_ratio_at_target: P_soc/P_budget at the exploration target.
+    """
+
+    strategy: str
+    max_channels: int | None
+    power_ratio_at_target: float
+
+    @property
+    def feasible_at_target(self) -> bool:
+        """True when the target channel count stays within budget."""
+        return self.power_ratio_at_target <= 1.0
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Full strategy comparison for one SoC.
+
+    Attributes:
+        soc_name: design name.
+        target_channels: the channel count strategies were compared at.
+        outcomes: per-strategy verdicts, in presentation order.
+    """
+
+    soc_name: str
+    target_channels: int
+    outcomes: tuple[StrategyOutcome, ...]
+
+    def best_strategy(self) -> StrategyOutcome | None:
+        """Lowest power ratio among strategies feasible at the target."""
+        feasible = [o for o in self.outcomes if o.feasible_at_target]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda o: o.power_ratio_at_target)
+
+    def frontier(self) -> dict[str, int | None]:
+        """Strategy -> maximum safe channel count."""
+        return {o.strategy: o.max_channels for o in self.outcomes}
+
+
+def _compressed_stream_ratio(soc: ScaledSoC, n_channels: int,
+                             compression_ratio: float,
+                             codec_power_w_per_channel: float) -> float:
+    """Power ratio of raw streaming with a lossless codec in front."""
+    comm = (soc.sensing_throughput_bps(n_channels) / compression_ratio
+            * soc.implied_energy_per_bit_j)
+    codec = codec_power_w_per_channel * n_channels
+    area = soc.sensing_area_m2(n_channels) + soc.non_sensing_area_m2
+    budget = area * SAFE_POWER_DENSITY
+    return (soc.sensing_power_w(n_channels) + comm + codec) / budget
+
+
+def _max_channels_compressed(soc: ScaledSoC, compression_ratio: float,
+                             codec_power_w_per_channel: float,
+                             step: int = 256,
+                             n_limit: int = 1 << 18) -> int:
+    """Frontier of the compressed-streaming strategy (all-linear terms)."""
+    if _compressed_stream_ratio(soc, step, compression_ratio,
+                                codec_power_w_per_channel) > 1.0:
+        return 0
+    n = step
+    while n < n_limit and _compressed_stream_ratio(
+            soc, n * 2, compression_ratio,
+            codec_power_w_per_channel) <= 1.0:
+        n *= 2
+    lo, hi = n, min(n * 2, n_limit)
+    while hi - lo > step:
+        mid = (lo + hi) // 2
+        if _compressed_stream_ratio(soc, mid, compression_ratio,
+                                    codec_power_w_per_channel) <= 1.0:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def explore(soc: ScaledSoC,
+            target_channels: int = 2048,
+            qam_efficiency: float = 0.20,
+            compression_ratio: float = 2.0,
+            codec_power_w_per_channel: float = 2e-7,
+            event_config: EventStreamConfig | None = None,
+            tech: TechnologyNode = TECH_45NM) -> ExplorationReport:
+    """Compare every architectural strategy for one scaled SoC.
+
+    Args:
+        soc: the 1024-channel anchor design.
+        target_channels: channel count at which strategies are compared.
+        qam_efficiency: achievable transmitter efficiency for the
+            advanced-modulation strategy.
+        compression_ratio: lossless codec ratio (measure one with
+            :class:`repro.compress.NeuralCompressor`).
+        codec_power_w_per_channel: codec cost per channel.
+        event_config: event-stream parameters.
+        tech: MAC technology for compute strategies.
+    """
+    if target_channels < soc.n_channels:
+        raise ValueError("target must be at least the 1024-ch standard")
+    event_config = event_config or EventStreamConfig()
+    outcomes = []
+
+    naive = evaluate_comm_centric(soc, target_channels,
+                                  DesignHypothesis.NAIVE)
+    outcomes.append(StrategyOutcome(
+        "raw OOK (naive)",
+        budget_crossing_channels(soc, DesignHypothesis.NAIVE),
+        naive.power_ratio))
+
+    margin = evaluate_comm_centric(soc, target_channels,
+                                   DesignHypothesis.HIGH_MARGIN)
+    outcomes.append(StrategyOutcome(
+        "raw OOK (high margin)",
+        budget_crossing_channels(soc, DesignHypothesis.HIGH_MARGIN),
+        margin.power_ratio))
+
+    qam = evaluate_qam_design(soc, target_channels)
+    qam_ratio = (qam.min_efficiency / qam_efficiency
+                 if math.isfinite(qam.min_efficiency) else math.inf)
+    outcomes.append(StrategyOutcome(
+        f"QAM @ {qam_efficiency:.0%}",
+        max_channels_at_efficiency(soc, qam_efficiency),
+        qam_ratio))
+
+    outcomes.append(StrategyOutcome(
+        f"compressed stream (x{compression_ratio:g})",
+        _max_channels_compressed(soc, compression_ratio,
+                                 codec_power_w_per_channel),
+        _compressed_stream_ratio(soc, target_channels, compression_ratio,
+                                 codec_power_w_per_channel)))
+
+    event = evaluate_event_stream(soc, target_channels, event_config, tech)
+    event_limit = 1 << 20
+    event_max = max_channels_event_stream(soc, event_config, tech,
+                                          n_limit=event_limit)
+    outcomes.append(StrategyOutcome(
+        "event stream (spikes only)",
+        None if event_max >= event_limit - 256 else event_max,
+        event.power_ratio))
+
+    for workload in Workload:
+        full = evaluate_comp_centric(soc, workload, target_channels, tech)
+        outcomes.append(StrategyOutcome(
+            f"on-implant {workload.value}",
+            max_feasible_channels(soc, workload, tech),
+            full.power_ratio))
+        part = evaluate_partitioned(soc, workload, target_channels, tech)
+        outcomes.append(StrategyOutcome(
+            f"partitioned {workload.value}",
+            max_feasible_channels_partitioned(soc, workload, tech),
+            part.power_ratio))
+
+    # Closed loop: decode once per decision, stimulate, no telemetry —
+    # a different application class with a far looser compute deadline.
+    from repro.core.closed_loop import (
+        evaluate_closed_loop,
+        max_channels_closed_loop,
+    )
+    from repro.dnn.models import build_speech_mlp
+    loop = evaluate_closed_loop(soc, build_speech_mlp(target_channels),
+                                target_channels, tech=tech)
+    outcomes.append(StrategyOutcome(
+        "closed loop (mlp, no telemetry)",
+        max_channels_closed_loop(soc, build_speech_mlp, tech),
+        loop.power_ratio if loop.meets_deadline else math.inf))
+
+    return ExplorationReport(soc_name=soc.name,
+                             target_channels=target_channels,
+                             outcomes=tuple(outcomes))

@@ -1,0 +1,139 @@
+"""Multi-implant scaling (the SCALO-style alternative, Sections 5.1/7).
+
+The paper observes that "at larger scales, the naive design is effectively
+equivalent to scaling the number of implanted SoCs", and Related Work
+cites systems that scale by deploying several implants (SCALO).  This
+module makes that alternative explicit: n channels are split across N
+identical 1024-channel implants, each individually safe, all sharing one
+wearable receiver.
+
+Per-implant physics is easy — each tile is just the anchor design.  The
+system-level constraints are what bound N:
+
+* **aggregate wireless bandwidth** — the wearable must receive the sum of
+  all tiles' streams within its RF front-end bandwidth;
+* **cortical real estate** — total implant area cannot exceed the usable
+  cortical surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.scaling import ScaledSoC
+from repro.units import cm2
+
+
+#: Usable human cortical surface for subdural tiles (both hemispheres'
+#: accessible convexity; the full cortex is ~2500 cm^2 but most is buried
+#: in sulci).
+DEFAULT_CORTICAL_AREA_M2 = cm2(400.0)
+
+#: Aggregate data rate a single wearable receiver front end can take.
+DEFAULT_WEARABLE_BANDWIDTH_BPS = 1e9
+
+
+@dataclass(frozen=True)
+class MultiImplantSystem:
+    """A tiled deployment of identical anchor implants.
+
+    Attributes:
+        soc: the per-tile 1024-channel design.
+        n_implants: number of tiles deployed.
+        wearable_bandwidth_bps: aggregate receive capability.
+        cortical_area_m2: available tissue area for tiles.
+    """
+
+    soc: ScaledSoC
+    n_implants: int
+    wearable_bandwidth_bps: float = DEFAULT_WEARABLE_BANDWIDTH_BPS
+    cortical_area_m2: float = DEFAULT_CORTICAL_AREA_M2
+
+    def __post_init__(self) -> None:
+        if self.n_implants <= 0:
+            raise ValueError("need at least one implant")
+        if self.wearable_bandwidth_bps <= 0:
+            raise ValueError("wearable bandwidth must be positive")
+        if self.cortical_area_m2 <= 0:
+            raise ValueError("cortical area must be positive")
+
+    @property
+    def total_channels(self) -> int:
+        """Aggregate channel count across tiles."""
+        return self.n_implants * self.soc.n_channels
+
+    @property
+    def total_area_m2(self) -> float:
+        """Total tissue area occupied by tiles."""
+        return self.n_implants * self.soc.area_m2
+
+    @property
+    def total_power_w(self) -> float:
+        """Total dissipation (distributed — each tile is locally safe)."""
+        return self.n_implants * self.soc.power_w
+
+    @property
+    def aggregate_throughput_bps(self) -> float:
+        """Sum of all tiles' raw streams at the wearable."""
+        return self.n_implants * self.soc.sensing_throughput_bps()
+
+    @property
+    def per_tile_safe(self) -> bool:
+        """Each tile individually within its Eq. 3 budget."""
+        return self.soc.power_w <= self.soc.budget_w() * (1 + 1e-12)
+
+    @property
+    def within_wearable_bandwidth(self) -> bool:
+        """Aggregate stream fits the wearable's receiver."""
+        return self.aggregate_throughput_bps <= self.wearable_bandwidth_bps
+
+    @property
+    def within_cortical_area(self) -> bool:
+        """Tiles fit the available cortical surface."""
+        return self.total_area_m2 <= self.cortical_area_m2
+
+    @property
+    def feasible(self) -> bool:
+        """All three constraints hold."""
+        return (self.per_tile_safe and self.within_wearable_bandwidth
+                and self.within_cortical_area)
+
+
+def max_implants(soc: ScaledSoC,
+                 wearable_bandwidth_bps: float =
+                 DEFAULT_WEARABLE_BANDWIDTH_BPS,
+                 cortical_area_m2: float = DEFAULT_CORTICAL_AREA_M2,
+                 ) -> int:
+    """Largest feasible tile count for a given anchor design.
+
+    Returns 0 when even a single tile violates a constraint.
+    """
+    single = MultiImplantSystem(soc, 1, wearable_bandwidth_bps,
+                                cortical_area_m2)
+    if not single.feasible:
+        return 0
+    by_bandwidth = math.floor(wearable_bandwidth_bps
+                              / soc.sensing_throughput_bps())
+    by_area = math.floor(cortical_area_m2 / soc.area_m2)
+    return max(1, min(by_bandwidth, by_area))
+
+
+def channels_vs_single_implant(soc: ScaledSoC,
+                               single_implant_limit: int,
+                               **constraints: float) -> float:
+    """How many times more channels tiling reaches than one scaled SoC.
+
+    Args:
+        soc: the anchor design.
+        single_implant_limit: the best single-implant channel count (e.g.
+            a Fig. 7 or Fig. 10 frontier).
+        **constraints: forwarded to :func:`max_implants`.
+
+    Raises:
+        ValueError: for non-positive single-implant limits.
+    """
+    if single_implant_limit <= 0:
+        raise ValueError("single-implant limit must be positive")
+    tiles = max_implants(soc, **constraints)
+    return tiles * soc.n_channels / single_implant_limit

@@ -1,0 +1,86 @@
+"""Channel-count roadmap: the field's doubling law meets the frontiers.
+
+The paper's introduction: the channel count of neural interfaces "has
+doubled roughly every seven years" (Stevenson & Kording), and Section 8
+expects the pace to accelerate.  This module turns every strategy
+frontier the framework computes into a *date* — the year a strategy stops
+being able to keep up — which is the planning view architects actually
+need.
+
+    channels(year) = anchor_channels * 2^((year - anchor_year) / T_double)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The paper's anchor: 1024 channels is the standard "today".
+DEFAULT_ANCHOR_YEAR = 2025
+DEFAULT_ANCHOR_CHANNELS = 1024
+
+#: Stevenson & Kording doubling period [years].
+DEFAULT_DOUBLING_YEARS = 7.0
+
+
+@dataclass(frozen=True)
+class ChannelRoadmap:
+    """The exponential channel-count trend.
+
+    Attributes:
+        anchor_year: year of the anchor channel count.
+        anchor_channels: channel count at the anchor year.
+        doubling_years: doubling period.
+    """
+
+    anchor_year: float = DEFAULT_ANCHOR_YEAR
+    anchor_channels: int = DEFAULT_ANCHOR_CHANNELS
+    doubling_years: float = DEFAULT_DOUBLING_YEARS
+
+    def __post_init__(self) -> None:
+        if self.anchor_channels <= 0:
+            raise ValueError("anchor channel count must be positive")
+        if self.doubling_years <= 0:
+            raise ValueError("doubling period must be positive")
+
+    def channels_in(self, year: float) -> float:
+        """Projected channel count in a given year."""
+        exponent = (year - self.anchor_year) / self.doubling_years
+        return self.anchor_channels * 2.0 ** exponent
+
+    def year_reaching(self, channels: float) -> float:
+        """Year the trend reaches a channel count.
+
+        Raises:
+            ValueError: for non-positive channel counts.
+        """
+        if channels <= 0:
+            raise ValueError("channel count must be positive")
+        ratio = channels / self.anchor_channels
+        return self.anchor_year + self.doubling_years * math.log2(ratio)
+
+    def strategy_horizon(self, max_channels: float | None) -> float:
+        """Year a strategy's frontier is overtaken by the trend.
+
+        Args:
+            max_channels: the strategy's feasibility limit; None means
+                unbounded (returns +inf).
+        """
+        if max_channels is None:
+            return math.inf
+        if max_channels < self.anchor_channels:
+            # Already behind the standard: the horizon is in the past.
+            return self.year_reaching(max(max_channels, 1))
+        return self.year_reaching(max_channels)
+
+    def with_acceleration(self, factor: float) -> "ChannelRoadmap":
+        """A faster roadmap (Section 8 expects the doubling to speed up).
+
+        Raises:
+            ValueError: for non-positive acceleration factors.
+        """
+        if factor <= 0:
+            raise ValueError("acceleration factor must be positive")
+        return ChannelRoadmap(anchor_year=self.anchor_year,
+                              anchor_channels=self.anchor_channels,
+                              doubling_years=self.doubling_years / factor)

@@ -1,0 +1,185 @@
+"""Unsupervised spike sorting: snippet extraction, PCA, k-means.
+
+Completes the spike-sorting substrate (Lewicki's classic pipeline, cited
+in Section 6.2): detected events are cut into waveform snippets, projected
+onto their principal components, and clustered into putative units with
+k-means.  Everything is plain NumPy — the point is a transparent reference
+implementation, not speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def extract_snippets(signal: np.ndarray, spike_indices: np.ndarray,
+                     length: int, pre: int = 8) -> np.ndarray:
+    """Cut aligned waveform snippets around detected spikes.
+
+    Args:
+        signal: 1-D waveform.
+        spike_indices: detection sample indices.
+        length: snippet length in samples.
+        pre: samples kept before the detection index.
+
+    Returns:
+        (n_spikes, length) array; spikes too close to the edges are
+        zero-padded.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if length <= 0 or pre < 0 or pre >= length:
+        raise ValueError("need 0 <= pre < length")
+    snippets = np.zeros((len(spike_indices), length))
+    n = signal.size
+    for row, idx in enumerate(np.asarray(spike_indices, dtype=int)):
+        start = idx - pre
+        for offset in range(length):
+            pos = start + offset
+            if 0 <= pos < n:
+                snippets[row, offset] = signal[pos]
+    return snippets
+
+
+def pca_features(snippets: np.ndarray,
+                 n_components: int = 3) -> tuple[np.ndarray, np.ndarray]:
+    """Project snippets onto their leading principal components.
+
+    Returns:
+        (scores of shape (n_snippets, n_components), components).
+
+    Raises:
+        ValueError: with fewer snippets than components.
+    """
+    snippets = np.asarray(snippets, dtype=float)
+    if snippets.ndim != 2:
+        raise ValueError("snippets must be (n_snippets, length)")
+    if snippets.shape[0] < n_components:
+        raise ValueError("need at least as many snippets as components")
+    centered = snippets - snippets.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:n_components]
+    return centered @ components.T, components
+
+
+def kmeans(features: np.ndarray, k: int, rng: np.random.Generator,
+           n_iterations: int = 50,
+           n_restarts: int = 4) -> tuple[np.ndarray, np.ndarray]:
+    """Plain k-means with k-means++-style seeding and restarts.
+
+    Returns:
+        (labels, centroids) of the best (lowest-inertia) restart.
+
+    Raises:
+        ValueError: for k outside [1, n_samples].
+    """
+    features = np.asarray(features, dtype=float)
+    n = features.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must lie in [1, {n}]")
+    best: tuple[float, np.ndarray, np.ndarray] | None = None
+    for _ in range(n_restarts):
+        centroids = _seed_centroids(features, k, rng)
+        labels = np.zeros(n, dtype=int)
+        for _ in range(n_iterations):
+            distances = np.linalg.norm(
+                features[:, None, :] - centroids[None, :, :], axis=2)
+            new_labels = np.argmin(distances, axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for cluster in range(k):
+                members = features[labels == cluster]
+                if len(members):
+                    centroids[cluster] = members.mean(axis=0)
+        inertia = float(np.sum(
+            (features - centroids[labels]) ** 2))
+        if best is None or inertia < best[0]:
+            best = (inertia, labels.copy(), centroids.copy())
+    assert best is not None
+    return best[1], best[2]
+
+
+def _seed_centroids(features: np.ndarray, k: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids apart."""
+    n = features.shape[0]
+    chosen = [int(rng.integers(n))]
+    for _ in range(1, k):
+        distances = np.min(
+            np.linalg.norm(features[:, None, :]
+                           - features[chosen][None, :, :], axis=2) ** 2,
+            axis=1)
+        total = distances.sum()
+        if total == 0:
+            chosen.append(int(rng.integers(n)))
+            continue
+        chosen.append(int(rng.choice(n, p=distances / total)))
+    return features[chosen].astype(float).copy()
+
+
+@dataclass(frozen=True)
+class SortResult:
+    """Outcome of sorting one channel's spikes.
+
+    Attributes:
+        labels: unit assignment per detected spike.
+        templates: mean waveform per unit (n_units, length).
+        features: PCA scores used for clustering.
+    """
+
+    labels: np.ndarray
+    templates: np.ndarray
+    features: np.ndarray
+
+    @property
+    def n_units(self) -> int:
+        """Number of putative units found."""
+        return self.templates.shape[0]
+
+
+def align_snippets(snippets: np.ndarray, pre: int) -> np.ndarray:
+    """Re-align snippets so each trough sits at sample ``pre``.
+
+    Detection indices mark threshold crossings, which land at different
+    offsets from the trough for different waveform shapes; aligning on
+    the trough is what makes the PCA space separate units by shape.
+    """
+    snippets = np.asarray(snippets, dtype=float)
+    aligned = np.zeros_like(snippets)
+    length = snippets.shape[1]
+    for row, snippet in enumerate(snippets):
+        shift = pre - int(np.argmin(snippet))
+        if shift > 0:
+            aligned[row, shift:] = snippet[:length - shift]
+        elif shift < 0:
+            aligned[row, :length + shift] = snippet[-shift:]
+        else:
+            aligned[row] = snippet
+    return aligned
+
+
+def sort_spikes(signal: np.ndarray, spike_indices: np.ndarray,
+                n_units: int, rng: np.random.Generator,
+                snippet_length: int = 32, pre: int = 8,
+                n_components: int = 3) -> SortResult:
+    """The full sorting pipeline for one channel.
+
+    Raises:
+        ValueError: with fewer spikes than requested units.
+    """
+    if len(spike_indices) < n_units:
+        raise ValueError("fewer spikes than requested units")
+    snippets = extract_snippets(signal, spike_indices, snippet_length,
+                                pre)
+    snippets = align_snippets(snippets, pre)
+    scores, _ = pca_features(snippets,
+                             min(n_components, snippets.shape[0]))
+    labels, _ = kmeans(scores, n_units, rng)
+    templates = np.stack([
+        snippets[labels == unit].mean(axis=0) if np.any(labels == unit)
+        else np.zeros(snippet_length)
+        for unit in range(n_units)])
+    return SortResult(labels=labels, templates=templates,
+                      features=scores)

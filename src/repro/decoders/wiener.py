@@ -1,0 +1,88 @@
+"""Wiener-filter (regularized linear regression with lags) decoder.
+
+The other traditional BCI decoder the paper cites (Section 2.3): the state
+at time t is a linear readout of the last ``n_lags`` feature frames.  No
+dynamics model — just ridge regression on a lag-embedded design matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WienerFilterDecoder:
+    """Lagged linear decoder.
+
+    Args:
+        n_lags: number of past feature frames (including current) used per
+            prediction.
+        regularization: ridge coefficient.
+    """
+
+    def __init__(self, n_lags: int = 5, regularization: float = 1e-3) -> None:
+        if n_lags < 1:
+            raise ValueError("need at least one lag (the current frame)")
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.n_lags = n_lags
+        self.regularization = regularization
+        self.weights: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """True after :meth:`fit`."""
+        return self.weights is not None
+
+    def _embed(self, observations: np.ndarray) -> np.ndarray:
+        """Lag-embed: row t holds frames t-n_lags+1 .. t plus a bias term.
+
+        Early rows use zero padding for missing history.
+        """
+        t_len, m = observations.shape
+        padded = np.vstack([np.zeros((self.n_lags - 1, m)), observations])
+        design = np.empty((t_len, self.n_lags * m + 1))
+        for t in range(t_len):
+            design[t, :-1] = padded[t:t + self.n_lags].reshape(-1)
+            design[t, -1] = 1.0
+        return design
+
+    def fit(self, states: np.ndarray, observations: np.ndarray) -> None:
+        """Fit readout weights by ridge regression.
+
+        Raises:
+            ValueError: on mismatched or insufficient data.
+        """
+        states = np.asarray(states, dtype=float)
+        observations = np.asarray(observations, dtype=float)
+        if len(states) != len(observations):
+            raise ValueError("states and observations must align in time")
+        if len(states) <= self.n_lags:
+            raise ValueError("need more timesteps than lags")
+        design = self._embed(observations)
+        gram = design.T @ design + self.regularization * np.eye(
+            design.shape[1])
+        self.weights = np.linalg.solve(gram, design.T @ states)
+
+    def decode(self, observations: np.ndarray) -> np.ndarray:
+        """Predict states for a feature sequence.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if not self.fitted:
+            raise RuntimeError("decoder must be fitted before decoding")
+        observations = np.asarray(observations, dtype=float)
+        return self._embed(observations) @ self.weights
+
+    def score(self, states: np.ndarray, observations: np.ndarray) -> float:
+        """Mean per-dimension correlation between truth and prediction."""
+        decoded = self.decode(observations)
+        states = np.asarray(states, dtype=float)
+        correlations = []
+        for dim in range(states.shape[1]):
+            truth, est = states[:, dim], decoded[:, dim]
+            if np.std(truth) == 0 or np.std(est) == 0:
+                correlations.append(0.0)
+            else:
+                correlations.append(float(np.corrcoef(truth, est)[0, 1]))
+        return float(np.mean(correlations))

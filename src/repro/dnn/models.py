@@ -1,0 +1,147 @@
+"""The paper's two BCI workloads: speech-synthesis MLP and DN-CNN.
+
+Paper Section 5.3 evaluates a multi-layer perceptron and a DenseNet-style
+convolutional network "trained for speech synthesis using ECoG neural data"
+(Berezutskaya et al.), originally designed for 128 channels at 2 kHz with a
+40-label spectral output.  The exact published layer shapes are not in the
+paper; the architectures here are shape-equivalent reconstructions
+(DESIGN.md substitution 3) whose base sizes are calibrated so the Fig. 10
+feasibility crossovers land near the paper's ~1800 (MLP) / ~1400 (DN-CNN)
+channel counts.
+
+Alpha scaling (Section 5.3, "Scaling Factor"): with
+``alpha = input size / original input size = n / 128``, layer widths scale
+linearly with n and network depth grows with ``log2(alpha)`` extra hidden
+layers — width growth alone already makes total MACs quadratic in n, the
+super-linear growth the paper requires, while logarithmic depth growth
+keeps the model family trainable.
+
+Architecture notes relevant to partitioning (Section 6.1):
+
+* The MLP narrows to an ``n // 4`` bottleneck after its second compute
+  layer; that is the earliest layer whose output can be streamed within a
+  1024-channel transceiver's data rate (for n <= 4096), so layer reduction
+  helps the MLP.
+* The DN-CNN's feature maps are all wider than 1024 values until the final
+  40-label layer, so no useful split exists — matching the paper's finding
+  that the DN-CNN gains nothing from partitioning.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dnn.layers import AvgPool1D, Conv1D, Dense, Flatten, ReLU, Tanh
+from repro.dnn.network import Network
+
+#: Original workload parameters (paper Section 5.3).
+SPEECH_BASE_CHANNELS = 128
+SPEECH_BASE_SAMPLING_HZ = 2_000.0
+SPEECH_OUTPUT_LABELS = 40
+
+#: Input window length in samples per channel.
+SPEECH_WINDOW = 2
+
+
+def alpha_scaling_factor(n_channels: int,
+                         base_channels: int = SPEECH_BASE_CHANNELS) -> float:
+    """alpha = input size / original input size (Section 5.3)."""
+    if n_channels <= 0 or base_channels <= 0:
+        raise ValueError("channel counts must be positive")
+    return n_channels / base_channels
+
+
+def _extra_depth(alpha: float) -> int:
+    """Extra hidden layers contributed by depth scaling: ~log2(alpha)."""
+    if alpha < 1.0:
+        return 0
+    return max(0, round(math.log2(alpha)))
+
+
+def build_speech_mlp(n_channels: int,
+                     rng: np.random.Generator | None = None,
+                     window: int = SPEECH_WINDOW,
+                     n_outputs: int = SPEECH_OUTPUT_LABELS) -> Network:
+    """The speech-synthesis MLP scaled to ``n_channels``.
+
+    Structure (widths in units of n = n_channels):
+    ``Dense(window*n -> 2n)`` -> ``Dense(2n -> n/4)`` [bottleneck]
+    -> ``Dense(n/4 -> n)`` -> ``log2(alpha)`` x ``Dense(n -> n)``
+    -> ``Dense(n -> 40)``, ReLU between hidden layers, Tanh head.
+
+    Args:
+        n_channels: NI channel count feeding the network.
+        rng: materializes weights when given; omit for shape-only analysis.
+        window: samples per channel in the input frame.
+        n_outputs: output labels (40 speech frequencies in the paper).
+    """
+    if n_channels <= 0:
+        raise ValueError("n_channels must be positive")
+    n = n_channels
+    alpha = alpha_scaling_factor(n)
+    bottleneck = max(16, n // 4)
+    widths = [window * n, 2 * n, bottleneck, n]
+    widths += [n] * _extra_depth(alpha)
+    widths.append(n_outputs)
+
+    layers = []
+    for i in range(len(widths) - 1):
+        layers.append(Dense(widths[i], widths[i + 1], rng=rng))
+        is_last = i == len(widths) - 2
+        layers.append(Tanh() if is_last else ReLU())
+    return Network(layers, input_shape=(window * n,),
+                   name=f"speech-mlp-{n}ch")
+
+
+def build_speech_dncnn(n_channels: int,
+                       rng: np.random.Generator | None = None,
+                       window: int = SPEECH_WINDOW,
+                       n_outputs: int = SPEECH_OUTPUT_LABELS,
+                       kernel_size: int = 7) -> Network:
+    """The DenseNet-style speech CNN (DN-CNN) scaled to ``n_channels``.
+
+    Convolutions run across the channel axis (length n), treating the
+    time window as input channels, densely increasing feature counts
+    (4 -> 8 -> 16 -> 16...), followed by pooling and a dense head.
+
+    Args:
+        n_channels: NI channel count (the convolution axis length).
+        rng: materializes weights when given; omit for shape-only analysis.
+        window: input time window, used as conv input channels.
+        n_outputs: output labels.
+        kernel_size: conv receptive field (odd; 'same' padding).
+    """
+    if n_channels <= 0:
+        raise ValueError("n_channels must be positive")
+    if kernel_size % 2 != 1:
+        raise ValueError("kernel_size must be odd for 'same' padding")
+    n = n_channels
+    alpha = alpha_scaling_factor(n)
+    pad = kernel_size // 2
+
+    layers: list = [
+        Conv1D(window, 8, kernel_size, padding=pad, rng=rng), ReLU(),
+        Conv1D(8, 16, kernel_size, padding=pad, rng=rng), ReLU(),
+        Conv1D(16, 16, kernel_size, padding=pad, rng=rng), ReLU(),
+    ]
+    for _ in range(_extra_depth(alpha)):
+        layers += [Conv1D(16, 16, kernel_size, padding=pad, rng=rng), ReLU()]
+
+    # Pool by 4 where the length allows it, then the dense head.
+    pooled = n
+    for pool in (4, 2):
+        if n % pool == 0:
+            layers.append(AvgPool1D(pool))
+            pooled = n // pool
+            break
+    layers.append(Flatten())
+    head_in = 16 * pooled
+    layers += [
+        Dense(head_in, 2 * n, rng=rng), ReLU(),
+        Dense(2 * n, n, rng=rng), ReLU(),
+        Dense(n, n_outputs, rng=rng), Tanh(),
+    ]
+    return Network(layers, input_shape=(window, n),
+                   name=f"speech-dncnn-{n}ch")

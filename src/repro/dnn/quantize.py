@@ -1,0 +1,107 @@
+"""Post-training fixed-point quantization of networks.
+
+The Fig. 9 accelerator synthesizes an 8-bit datatype; this module provides
+the software side of that choice: symmetric per-tensor quantization of a
+trained network's weights (and optionally a fixed-point activation
+constraint), plus degradation measurement so the examples can show how
+many bits the BCI workloads actually need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dnn.layers import Conv1D, Dense
+from repro.dnn.network import Network
+
+
+def quantize_tensor(tensor: np.ndarray, bits: int) -> np.ndarray:
+    """Symmetric uniform quantization to ``bits`` (sign included).
+
+    The scale maps the tensor's absolute maximum onto the largest code.
+
+    Raises:
+        ValueError: for bit widths below 2.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits (sign + magnitude)")
+    tensor = np.asarray(tensor, dtype=float)
+    peak = np.max(np.abs(tensor))
+    if peak == 0:
+        return tensor.copy()
+    levels = 2 ** (bits - 1) - 1
+    scale = peak / levels
+    return np.round(tensor / scale) * scale
+
+
+def quantize_network(network: Network, bits: int) -> int:
+    """Quantize all materialized weights in place.
+
+    Returns:
+        Number of layers quantized.
+
+    Raises:
+        ValueError: when the network has no materialized weights.
+    """
+    touched = 0
+    for layer in network.layers:
+        if isinstance(layer, (Dense, Conv1D)) and layer.materialized:
+            layer.weight[...] = quantize_tensor(layer.weight, bits)
+            layer.bias[...] = quantize_tensor(layer.bias, bits)
+            touched += 1
+    if touched == 0:
+        raise ValueError("network has no materialized weights to quantize")
+    return touched
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Effect of one quantization level on a network's outputs.
+
+    Attributes:
+        bits: weight bit width.
+        output_rmse: RMS difference vs the float network's outputs.
+        output_rms: RMS magnitude of the float outputs (for scale).
+    """
+
+    bits: int
+    output_rmse: float
+    output_rms: float
+
+    @property
+    def relative_error(self) -> float:
+        """RMSE normalized by output scale."""
+        if self.output_rms == 0:
+            return 0.0
+        return self.output_rmse / self.output_rms
+
+
+def quantization_sweep(build_network, inputs: np.ndarray,
+                       bit_widths: tuple[int, ...] = (4, 6, 8, 12, 16),
+                       ) -> list[QuantizationReport]:
+    """Measure output degradation across weight bit widths.
+
+    Args:
+        build_network: zero-argument factory returning a fresh
+            *materialized* network (a factory, because quantization is
+            in-place and each width needs pristine weights).
+        inputs: (batch, *input_shape) probe batch.
+        bit_widths: widths to evaluate.
+
+    Returns:
+        One report per width, in the given order.
+    """
+    reference_net = build_network()
+    reference = reference_net.forward(inputs)
+    rms = float(np.sqrt(np.mean(reference ** 2)))
+    reports = []
+    for bits in bit_widths:
+        net = build_network()
+        quantize_network(net, bits)
+        outputs = net.forward(inputs)
+        rmse = float(np.sqrt(np.mean((outputs - reference) ** 2)))
+        reports.append(QuantizationReport(bits=bits, output_rmse=rmse,
+                                          output_rms=rms))
+    return reports

@@ -1,0 +1,239 @@
+"""Spiking neural network (SNN) substrate — the paper's stated extension.
+
+Section 7 ("In the future, we plan to ... explore additional computational
+models, such as SNNs") and the Hueber et al. benchmark motivate an
+event-driven alternative to MAC-based DNNs: leaky integrate-and-fire (LIF)
+neurons whose synapses only do work when a presynaptic spike arrives, so
+the energy unit is the *synaptic operation* (SOP — an add, no multiply)
+and total cost scales with activity instead of model size.
+
+The module provides a functional LIF simulation (rate-coded inputs,
+multi-layer), exact SOP counting from the simulation, an analytical
+expected-SOP model, and a power estimate comparable to Eq. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.tech import TECH_45NM, TechnologyNode
+
+#: Energy of one synaptic operation relative to a full MAC: an accumulate
+#: without the multiplier (Hueber et al. charge SNN ops at a fraction of a
+#: MAC; 0.3 is a conservative middle of their range).
+SOP_ENERGY_FRACTION = 0.3
+
+#: Energy of one neuron membrane update relative to a full MAC (leak
+#: multiply + compare + conditional reset).
+NEURON_UPDATE_FRACTION = 1.0
+
+
+class LIFLayer:
+    """A fully connected layer of leaky integrate-and-fire neurons.
+
+    Membrane dynamics per timestep:
+        v <- leak * v + W @ spikes_in
+        spike out where v >= threshold, then reset those v to 0.
+
+    Args:
+        in_features / out_features: connectivity shape.
+        leak: membrane retention per step, in [0, 1).
+        threshold: firing threshold.
+        rng: weight initialization (positive-skewed to keep activity
+            flowing); omit for shape-only analysis.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 leak: float = 0.9, threshold: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        if not 0.0 <= leak < 1.0:
+            raise ValueError("leak must lie in [0, 1)")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.leak = leak
+        self.threshold = threshold
+        self.weight: np.ndarray | None = None
+        if rng is not None:
+            scale = 2.0 * threshold / in_features
+            self.weight = scale * np.abs(
+                rng.standard_normal((out_features, in_features)))
+        self._membrane: np.ndarray | None = None
+
+    @property
+    def materialized(self) -> bool:
+        """True once the synapse matrix exists."""
+        return self.weight is not None
+
+    def reset_state(self, batch: int = 1) -> None:
+        """Zero the membrane potentials."""
+        self._membrane = np.zeros((batch, self.out_features))
+
+    def step(self, spikes_in: np.ndarray) -> tuple[np.ndarray, int]:
+        """Advance one timestep.
+
+        Args:
+            spikes_in: (batch, in_features) binary spikes.
+
+        Returns:
+            (binary output spikes, synaptic operations performed).
+        """
+        if not self.materialized:
+            raise RuntimeError("LIF layer is shape-only; build with an rng")
+        spikes_in = np.asarray(spikes_in)
+        if self._membrane is None or \
+                self._membrane.shape[0] != spikes_in.shape[0]:
+            self.reset_state(spikes_in.shape[0])
+        # SOPs: each input spike touches every postsynaptic neuron.
+        sops = int(spikes_in.sum()) * self.out_features
+        self._membrane = (self.leak * self._membrane
+                          + spikes_in @ self.weight.T)
+        fired = self._membrane >= self.threshold
+        self._membrane = np.where(fired, 0.0, self._membrane)
+        return fired.astype(np.int8), sops
+
+
+@dataclass(frozen=True)
+class SnnRunResult:
+    """Outcome of simulating a spiking network.
+
+    Attributes:
+        output_rates: (batch, out_features) firing rates in [0, 1].
+        total_sops: synaptic operations across all layers and steps.
+        total_neuron_updates: membrane updates across all layers/steps.
+        timesteps: simulation length.
+    """
+
+    output_rates: np.ndarray
+    total_sops: int
+    total_neuron_updates: int
+    timesteps: int
+
+
+class SpikingNetwork:
+    """A feed-forward stack of LIF layers with rate-coded inputs."""
+
+    def __init__(self, layers: list[LIFLayer], name: str = "snn") -> None:
+        if not layers:
+            raise ValueError("a spiking network needs at least one layer")
+        for upstream, downstream in zip(layers, layers[1:]):
+            if upstream.out_features != downstream.in_features:
+                raise ValueError(
+                    f"layer mismatch: {upstream.out_features} -> "
+                    f"{downstream.in_features}")
+        self.layers = list(layers)
+        self.name = name
+
+    @property
+    def in_features(self) -> int:
+        """Input width."""
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        """Output width."""
+        return self.layers[-1].out_features
+
+    @property
+    def n_synapses(self) -> int:
+        """Total synapse count (the SNN 'model size')."""
+        return sum(layer.in_features * layer.out_features
+                   for layer in self.layers)
+
+    @property
+    def n_neurons(self) -> int:
+        """Total neuron count."""
+        return sum(layer.out_features for layer in self.layers)
+
+    def run(self, rates: np.ndarray, timesteps: int,
+            rng: np.random.Generator) -> SnnRunResult:
+        """Simulate rate-coded inference.
+
+        Args:
+            rates: (batch, in_features) input intensities in [0, 1],
+                Bernoulli-sampled into spikes each step.
+            timesteps: steps per inference (the rate-code window).
+            rng: spike-sampling generator.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if rates.ndim != 2 or rates.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (batch, {self.in_features}) rates")
+        if np.any((rates < 0) | (rates > 1)):
+            raise ValueError("input rates must lie in [0, 1]")
+        if timesteps <= 0:
+            raise ValueError("timesteps must be positive")
+        batch = rates.shape[0]
+        for layer in self.layers:
+            layer.reset_state(batch)
+        out_accum = np.zeros((batch, self.out_features))
+        total_sops = 0
+        for _ in range(timesteps):
+            spikes = (rng.random(rates.shape) < rates).astype(np.int8)
+            for layer in self.layers:
+                spikes, sops = layer.step(spikes)
+                total_sops += sops
+            out_accum += spikes
+        updates = self.n_neurons * timesteps * batch
+        return SnnRunResult(output_rates=out_accum / timesteps,
+                            total_sops=total_sops,
+                            total_neuron_updates=updates,
+                            timesteps=timesteps)
+
+    def expected_sops(self, mean_input_rate: float, timesteps: int,
+                      layer_activity: float = 0.1) -> float:
+        """Analytical expected SOPs for one inference.
+
+        Layer 1 sees the input rate; deeper layers are assumed to fire at
+        ``layer_activity`` (the sparse regime SNNs are built for).
+        """
+        if not 0.0 <= mean_input_rate <= 1.0:
+            raise ValueError("mean input rate must lie in [0, 1]")
+        total = 0.0
+        rate = mean_input_rate
+        for layer in self.layers:
+            total += (rate * layer.in_features * layer.out_features
+                      * timesteps)
+            rate = layer_activity
+        return total
+
+    def energy_per_inference_j(self, total_sops: float, timesteps: int,
+                               tech: TechnologyNode = TECH_45NM) -> float:
+        """Energy of one rate-coded inference [J]."""
+        sop_energy = SOP_ENERGY_FRACTION * tech.energy_per_mac_j
+        update_energy = NEURON_UPDATE_FRACTION * tech.energy_per_mac_j
+        return (total_sops * sop_energy
+                + self.n_neurons * timesteps * update_energy)
+
+    def power_w(self, total_sops: float, timesteps: int,
+                inference_rate_hz: float,
+                tech: TechnologyNode = TECH_45NM) -> float:
+        """Average power when inferring at a given rate [W]."""
+        if inference_rate_hz <= 0:
+            raise ValueError("inference rate must be positive")
+        return (self.energy_per_inference_j(total_sops, timesteps, tech)
+                * inference_rate_hz)
+
+
+def build_speech_snn(n_channels: int,
+                     rng: np.random.Generator | None = None,
+                     n_outputs: int = 40) -> SpikingNetwork:
+    """An SNN counterpart of the speech workload (paper Section 7).
+
+    Width scales with n like the MLP's, but inference cost scales with
+    spiking *activity*, which is what makes SNNs attractive for implants.
+    """
+    if n_channels <= 0:
+        raise ValueError("n_channels must be positive")
+    hidden = max(64, n_channels)
+    layers = [
+        LIFLayer(n_channels, hidden, rng=rng),
+        LIFLayer(hidden, max(32, n_channels // 4), rng=rng),
+        LIFLayer(max(32, n_channels // 4), n_outputs, rng=rng),
+    ]
+    return SpikingNetwork(layers, name=f"speech-snn-{n_channels}ch")

@@ -1,0 +1,121 @@
+"""Minimal SGD training loop for the NumPy networks.
+
+The MINDFUL analysis never trains — it consumes layer shapes — but the
+example applications demonstrate the substrate end-to-end by fitting small
+instances of the speech workloads on synthetic data.  Mean-squared error
+plus plain mini-batch SGD is sufficient for that purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.network import Network
+
+
+def mse_loss(prediction: np.ndarray,
+             target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient w.r.t. the prediction.
+
+    Returns:
+        (loss value, gradient array of the same shape as prediction).
+    """
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {prediction.shape} vs {target.shape}")
+    diff = prediction - target
+    loss = float(np.mean(diff ** 2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def cross_entropy_loss(probabilities: np.ndarray,
+                       labels: np.ndarray,
+                       eps: float = 1e-12) -> tuple[float, np.ndarray]:
+    """Categorical cross-entropy over softmax outputs.
+
+    Args:
+        probabilities: (batch, n_classes) softmax outputs.
+        labels: integer class labels of shape (batch,) or one-hot rows of
+            shape (batch, n_classes).
+        eps: numerical floor inside the log.
+
+    Returns:
+        (mean loss, gradient w.r.t. the probabilities).  When the network
+        ends in a :class:`~repro.dnn.layers.Softmax`, back-propagating
+        this gradient through it reproduces the classic (p - y)/batch.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be (batch, n_classes)")
+    batch, n_classes = probabilities.shape
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        if labels.shape[0] != batch:
+            raise ValueError("label count must match the batch")
+        one_hot = np.zeros_like(probabilities)
+        if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+            raise ValueError("labels out of class range")
+        one_hot[np.arange(batch), labels.astype(int)] = 1.0
+    elif labels.shape == probabilities.shape:
+        one_hot = labels.astype(float)
+    else:
+        raise ValueError("labels must be (batch,) ints or one-hot rows")
+    clipped = np.clip(probabilities, eps, 1.0)
+    loss = float(-np.sum(one_hot * np.log(clipped)) / batch)
+    grad = -(one_hot / clipped) / batch
+    return loss, grad
+
+
+def sgd_step(network: Network, learning_rate: float) -> None:
+    """Apply one gradient step to all materialized parameters."""
+    if learning_rate <= 0:
+        raise ValueError("learning rate must be positive")
+    for layer in network.layers:
+        for param, grad in zip(layer.parameters, layer.gradients):
+            param -= learning_rate * grad
+
+
+def sgd_train(network: Network,
+              features: np.ndarray,
+              targets: np.ndarray,
+              rng: np.random.Generator,
+              epochs: int = 10,
+              batch_size: int = 32,
+              learning_rate: float = 0.05) -> list[float]:
+    """Train a network with mini-batch SGD on MSE.
+
+    Args:
+        network: a *materialized* network (layers built with an rng).
+        features: (n_samples, *input_shape) inputs.
+        targets: (n_samples, *output_shape) regression targets.
+        rng: shuffling generator.
+        epochs: passes over the data.
+        batch_size: mini-batch size.
+        learning_rate: SGD step size.
+
+    Returns:
+        Mean epoch losses, one per epoch.
+
+    Raises:
+        ValueError: on mismatched sample counts or empty data.
+    """
+    if len(features) != len(targets):
+        raise ValueError("features and targets must have equal length")
+    if len(features) == 0:
+        raise ValueError("cannot train on empty data")
+    n = len(features)
+    history = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_losses = []
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            network.zero_gradients()
+            prediction = network.forward(features[idx])
+            loss, grad = mse_loss(prediction, targets[idx])
+            network.backward(grad)
+            sgd_step(network, learning_rate)
+            epoch_losses.append(loss)
+        history.append(float(np.mean(epoch_losses)))
+    return history

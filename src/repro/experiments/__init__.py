@@ -1,0 +1,64 @@
+"""Per-figure experiment drivers (see DESIGN.md experiment index).
+
+Each module exposes ``run() -> ExperimentResult`` and
+``render(result) -> str``; :func:`run_all` executes the full evaluation
+and writes every CSV under an output directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import DEFAULT_OUTPUT_DIR
+from repro.experiments import (  # noqa: F401 (re-exported driver modules)
+    fig4,
+    frontier,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+
+#: Paper-artifact drivers, in paper order.
+ALL_EXPERIMENTS = (table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
+                   fig11, fig12)
+
+#: Extension drivers beyond the paper's evaluation (see DESIGN.md).
+EXTENSION_EXPERIMENTS = (frontier,)
+
+
+def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
+            verbose: bool = False,
+            include_extensions: bool = False) -> list[ExperimentResult]:
+    """Run every experiment, saving one CSV per figure/table.
+
+    Args:
+        output_dir: destination for the CSV artifacts.
+        verbose: print each rendering as it completes.
+        include_extensions: also run the extension experiments.
+
+    Returns:
+        The results in paper order (extensions last).
+    """
+    modules = ALL_EXPERIMENTS + (EXTENSION_EXPERIMENTS
+                                 if include_extensions else ())
+    results = []
+    for module in modules:
+        result = module.run()
+        result.save_csv(output_dir)
+        if verbose:
+            print(f"== {result.title} ==")
+            print(module.render(result))
+            print()
+        results.append(result)
+    return results
+
+
+__all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS",
+           "ExperimentResult", "run_all"]

@@ -1,0 +1,51 @@
+"""Common experiment-result container shared by the figure drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.report import DEFAULT_OUTPUT_DIR, write_csv
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one figure/table reproduction.
+
+    Attributes:
+        name: experiment id ("fig5", "table1", ...).
+        title: human-readable description.
+        rows: the regenerated data series, one dict per row.
+        summary: headline scalars (crossovers, averages) used both by the
+            renderers and by EXPERIMENTS.md.
+    """
+
+    name: str
+    title: str
+    rows: list[dict[str, Any]]
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def save_csv(self, output_dir: Path | str = DEFAULT_OUTPUT_DIR,
+                 columns: Sequence[str] | None = None) -> Path:
+        """Write the rows to ``<output_dir>/<name>.csv``."""
+        return write_csv(Path(output_dir) / f"{self.name}.csv", self.rows,
+                         columns)
+
+    def summary_lines(self) -> list[str]:
+        """Summary entries rendered as 'key: value' lines."""
+        return [f"{key}: {value}" for key, value in self.summary.items()]
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Plain mean that tolerates empty input (returns 0.0)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def filter_finite(mapping: Mapping[str, float]) -> dict[str, float]:
+    """Drop non-finite values from a mapping."""
+    import math
+    return {k: v for k, v in mapping.items() if math.isfinite(v)}

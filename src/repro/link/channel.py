@@ -1,0 +1,75 @@
+"""Monte-Carlo AWGN channel used to validate the closed-form BER curves.
+
+The analytical results in :mod:`repro.link.ber` drive every wireless power
+number in the MINDFUL evaluation; this simulator is the independent check
+that those formulas are implemented correctly (tests compare measured and
+theoretical BER at moderate Eb/N0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.link.modulation import Modulation
+
+
+@dataclass
+class AwgnChannel:
+    """Complex additive white Gaussian noise channel at a fixed Eb/N0.
+
+    Symbols entering the channel are assumed normalized to unit average
+    energy per bit (the convention of :mod:`repro.link.modulation`), so the
+    per-complex-dimension noise variance is N0/2 = 1 / (2 * Eb/N0).
+
+    Attributes:
+        ebn0_linear: energy-per-bit to noise-density ratio (linear).
+        rng: NumPy random generator.
+    """
+
+    ebn0_linear: float
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if self.ebn0_linear <= 0:
+            raise ValueError("Eb/N0 must be positive")
+
+    def transmit(self, symbols: np.ndarray) -> np.ndarray:
+        """Add circularly symmetric Gaussian noise to unit-Eb symbols."""
+        n0 = 1.0 / self.ebn0_linear
+        sigma = np.sqrt(n0 / 2.0)
+        noise = sigma * (self.rng.standard_normal(symbols.shape)
+                         + 1j * self.rng.standard_normal(symbols.shape))
+        return symbols + noise
+
+
+def measure_ber(scheme: Modulation,
+                ebn0_db: float,
+                n_bits: int,
+                rng: np.random.Generator) -> float:
+    """Empirical BER of a modulation scheme over AWGN.
+
+    Args:
+        scheme: modulation under test.
+        ebn0_db: Eb/N0 operating point in dB.
+        n_bits: number of random bits to push through (rounded down to a
+            whole number of symbols).
+        rng: random generator for both data and noise.
+
+    Returns:
+        Fraction of bit errors observed.
+
+    Raises:
+        ValueError: if fewer than one symbol's worth of bits is requested.
+    """
+    bits_per_symbol = scheme.bits_per_symbol
+    n_bits = (n_bits // bits_per_symbol) * bits_per_symbol
+    if n_bits <= 0:
+        raise ValueError("need at least one symbol's worth of bits")
+    bits = rng.integers(0, 2, size=n_bits).astype(np.int8)
+    symbols = scheme.modulate(bits)
+    channel = AwgnChannel(ebn0_linear=10.0 ** (ebn0_db / 10.0), rng=rng)
+    received = channel.transmit(symbols)
+    decoded = scheme.demodulate(received)
+    return float(np.mean(decoded != bits))

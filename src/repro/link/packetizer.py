@@ -1,0 +1,168 @@
+"""Packetization of digitized neural frames for wireless transmission.
+
+In the communication-centric dataflow (paper Fig. 3, Section 3.1) the only
+on-implant computation is "digitize and packetize".  This module is that
+stage: frames of ADC codes are split into fixed-payload packets carrying a
+sequence number and CRC-16 so the wearable can detect loss and corruption.
+The overhead ratio it reports feeds the effective-throughput accounting in
+the streaming example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: CRC-16/CCITT-FALSE polynomial.
+_CRC16_POLY = 0x1021
+_CRC16_INIT = 0xFFFF
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE over a byte string."""
+    crc = _CRC16_INIT
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One framed unit of neural payload.
+
+    Attributes:
+        sequence: monotonically increasing packet counter (wraps at 2^16).
+        payload: raw payload bytes.
+        checksum: CRC-16 over sequence (big-endian) plus payload.
+    """
+
+    sequence: int
+    payload: bytes
+    checksum: int
+
+    @property
+    def valid(self) -> bool:
+        """True when the checksum matches the contents."""
+        header = self.sequence.to_bytes(2, "big")
+        return crc16(header + self.payload) == self.checksum
+
+    def to_bytes(self) -> bytes:
+        """Serialize as header | payload | CRC."""
+        return (self.sequence.to_bytes(2, "big") + self.payload
+                + self.checksum.to_bytes(2, "big"))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Packet":
+        """Parse a serialized packet (no payload-length framing here; the
+        caller supplies exactly one packet's bytes)."""
+        if len(raw) < 4:
+            raise ValueError("packet too short")
+        sequence = int.from_bytes(raw[:2], "big")
+        checksum = int.from_bytes(raw[-2:], "big")
+        return cls(sequence=sequence, payload=raw[2:-2], checksum=checksum)
+
+
+class Packetizer:
+    """Splits digitized frames into CRC-framed packets.
+
+    Args:
+        payload_bytes: payload size per packet; the header+CRC add 4 bytes.
+        sample_bits: ADC bitwidth of the codes being packed (samples are
+            packed as signed two's-complement into ceil(bits/8) bytes each —
+            a simple byte-aligned packing; sub-byte packing would only shift
+            the constant overhead factor).
+    """
+
+    HEADER_BYTES = 2
+    CRC_BYTES = 2
+
+    def __init__(self, payload_bytes: int = 256, sample_bits: int = 10) -> None:
+        if payload_bytes <= 0:
+            raise ValueError("payload size must be positive")
+        if sample_bits < 1 or sample_bits > 32:
+            raise ValueError("sample_bits must be in [1, 32]")
+        self.payload_bytes = payload_bytes
+        self.sample_bits = sample_bits
+        self.bytes_per_sample = (sample_bits + 7) // 8
+        self._sequence = 0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Framing bytes per payload byte."""
+        return (self.HEADER_BYTES + self.CRC_BYTES) / self.payload_bytes
+
+    def packetize(self, codes: np.ndarray) -> list[Packet]:
+        """Pack a block of ADC codes into packets.
+
+        Args:
+            codes: integer array of any shape; flattened in C order.
+
+        Returns:
+            Packets covering all samples; the final packet may be short.
+        """
+        flat = np.asarray(codes).reshape(-1)
+        raw = _codes_to_bytes(flat, self.bytes_per_sample)
+        packets = []
+        for start in range(0, len(raw), self.payload_bytes):
+            payload = raw[start:start + self.payload_bytes]
+            header = self._sequence.to_bytes(2, "big")
+            packets.append(Packet(sequence=self._sequence, payload=payload,
+                                  checksum=crc16(header + payload)))
+            self._sequence = (self._sequence + 1) & 0xFFFF
+        return packets
+
+    def depacketize(self, packets: list[Packet]) -> np.ndarray:
+        """Reassemble ADC codes from valid packets.
+
+        Raises:
+            ValueError: if any packet fails its CRC or sequence numbers are
+                not contiguous (mod 2^16).
+        """
+        if not packets:
+            return np.array([], dtype=np.int32)
+        expected = packets[0].sequence
+        chunks = []
+        for packet in packets:
+            if not packet.valid:
+                raise ValueError(f"packet {packet.sequence} failed CRC")
+            if packet.sequence != expected:
+                raise ValueError(
+                    f"sequence gap: expected {expected}, got "
+                    f"{packet.sequence}")
+            expected = (expected + 1) & 0xFFFF
+            chunks.append(packet.payload)
+        return _bytes_to_codes(b"".join(chunks), self.bytes_per_sample,
+                               self.sample_bits)
+
+
+def _codes_to_bytes(codes: np.ndarray, bytes_per_sample: int) -> bytes:
+    width = 8 * bytes_per_sample
+    unsigned = (codes.astype(np.int64) & ((1 << width) - 1))
+    out = bytearray()
+    for value in unsigned:
+        out += int(value).to_bytes(bytes_per_sample, "big")
+    return bytes(out)
+
+
+def _bytes_to_codes(raw: bytes, bytes_per_sample: int,
+                    sample_bits: int) -> np.ndarray:
+    if len(raw) % bytes_per_sample != 0:
+        raise ValueError("byte stream length is not a whole number of samples")
+    n = len(raw) // bytes_per_sample
+    width = 8 * bytes_per_sample
+    codes = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        chunk = raw[i * bytes_per_sample:(i + 1) * bytes_per_sample]
+        value = int.from_bytes(chunk, "big")
+        # Sign-extend from the storage width.
+        if value >= 1 << (width - 1):
+            value -= 1 << width
+        codes[i] = value
+    del sample_bits
+    return codes.astype(np.int32)

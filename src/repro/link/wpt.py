@@ -1,0 +1,97 @@
+"""Wireless power transfer (WPT) model — Section 8 future consideration.
+
+"Wireless power transfer is increasingly used to power implants, but it
+raises questions about power efficiency and heat generation."  The subtle
+point for the MINDFUL budget: power the implant *wastes* while receiving
+(rectifier, regulator, coil losses dissipated on the implant side) heats
+the same tissue the 40 mW/cm^2 limit protects, so the budget must cover
+
+    P_dissipated = P_soc + P_soc * (1 - eta_implant) / eta_implant
+
+i.e. the *effective* power an implant may spend on useful work shrinks by
+its receive-chain efficiency.  This module models a two-coil inductive
+link and exposes that effective-budget correction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InductiveLink:
+    """A two-coil inductive power link through tissue.
+
+    Attributes:
+        coupling: coil coupling coefficient k in (0, 1).
+        q_transmit: loaded quality factor of the external coil.
+        q_receive: loaded quality factor of the implanted coil.
+        rectifier_efficiency: AC->DC conversion efficiency on the implant.
+        regulator_efficiency: DC->DC regulation efficiency on the implant.
+    """
+
+    coupling: float = 0.05
+    q_transmit: float = 100.0
+    q_receive: float = 30.0
+    rectifier_efficiency: float = 0.80
+    regulator_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coupling < 1.0:
+            raise ValueError("coupling must lie in (0, 1)")
+        if self.q_transmit <= 0 or self.q_receive <= 0:
+            raise ValueError("quality factors must be positive")
+        for eff in (self.rectifier_efficiency, self.regulator_efficiency):
+            if not 0.0 < eff <= 1.0:
+                raise ValueError("efficiencies must lie in (0, 1]")
+
+    @property
+    def link_efficiency(self) -> float:
+        """Optimal coil-to-coil efficiency of a two-coil link.
+
+        Standard result: with x = k^2 Qt Qr,
+        eta = x / (1 + sqrt(1 + x))^2.
+        """
+        x = self.coupling ** 2 * self.q_transmit * self.q_receive
+        return x / (1.0 + math.sqrt(1.0 + x)) ** 2
+
+    @property
+    def implant_chain_efficiency(self) -> float:
+        """Receive-side efficiency (rectifier x regulator) — the losses
+        that dissipate *inside the body*."""
+        return self.rectifier_efficiency * self.regulator_efficiency
+
+    @property
+    def end_to_end_efficiency(self) -> float:
+        """Wall-power to regulated-implant-supply efficiency."""
+        return self.link_efficiency * self.implant_chain_efficiency
+
+    def transmit_power_for(self, load_w: float) -> float:
+        """External power needed to deliver ``load_w`` to the implant."""
+        if load_w < 0:
+            raise ValueError("load must be non-negative")
+        return load_w / self.end_to_end_efficiency
+
+    def implant_dissipation(self, load_w: float) -> float:
+        """Heat dissipated on the implant side while delivering a load.
+
+        The useful load itself also turns into heat; receive-chain losses
+        add on top:  P_heat = load + load * (1 - eta_rx) / eta_rx.
+        """
+        if load_w < 0:
+            raise ValueError("load must be non-negative")
+        eta = self.implant_chain_efficiency
+        return load_w / eta
+
+    def effective_budget(self, thermal_budget_w: float) -> float:
+        """Largest useful implant load fitting a thermal budget.
+
+        Inverts :meth:`implant_dissipation`: load = budget * eta_rx.
+
+        Raises:
+            ValueError: for non-positive budgets.
+        """
+        if thermal_budget_w <= 0:
+            raise ValueError("thermal budget must be positive")
+        return thermal_budget_w * self.implant_chain_efficiency

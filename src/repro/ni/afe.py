@@ -1,0 +1,114 @@
+"""Analog front-end (AFE) power model based on the noise efficiency factor.
+
+Simmich et al. (cited in paper Section 4.1) show that implantable-BCI power
+scales roughly linearly with channel count *at constant signal quality*,
+where quality is captured by the amplifier's noise efficiency factor (NEF):
+
+    NEF = V_rms_in * sqrt(2 * I_total / (pi * U_T * 4kT * BW))
+
+Rearranged, the supply current a channel's amplifier must burn to reach a
+target input-referred noise V_rms over bandwidth BW is:
+
+    I_total = NEF^2 * (pi * U_T * 4kT * BW) / (2 * V_rms^2)
+
+This module exposes that relation and a per-channel AFE power estimate
+(amplifier + ADC share), which is the physical basis for MINDFUL's linear
+sensing-power scaling (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import BOLTZMANN, BODY_TEMPERATURE_K
+import math
+
+#: Thermal voltage kT/q at body temperature [V].
+THERMAL_VOLTAGE = BOLTZMANN * BODY_TEMPERATURE_K / 1.602176634e-19
+
+
+def nef_input_current(nef: float,
+                      input_noise_vrms: float,
+                      bandwidth_hz: float,
+                      temperature_k: float = BODY_TEMPERATURE_K) -> float:
+    """Total amplifier supply current implied by a target NEF [A].
+
+    Args:
+        nef: noise efficiency factor (>= 1 in theory; ~2-5 in practice).
+        input_noise_vrms: target input-referred noise, e.g. 5e-6 V.
+        bandwidth_hz: amplifier noise bandwidth.
+        temperature_k: physical temperature.
+
+    Raises:
+        ValueError: on non-physical arguments.
+    """
+    if nef < 1.0:
+        raise ValueError("NEF below 1 is non-physical (BJT limit)")
+    if input_noise_vrms <= 0 or bandwidth_hz <= 0 or temperature_k <= 0:
+        raise ValueError("noise, bandwidth and temperature must be positive")
+    ut = BOLTZMANN * temperature_k / 1.602176634e-19
+    kt4 = 4.0 * BOLTZMANN * temperature_k
+    return nef ** 2 * (math.pi * ut * kt4 * bandwidth_hz) / (
+        2.0 * input_noise_vrms ** 2)
+
+
+def afe_channel_power(nef: float,
+                      input_noise_vrms: float,
+                      bandwidth_hz: float,
+                      supply_v: float = 1.2,
+                      adc_overhead: float = 0.35) -> float:
+    """Per-channel AFE power [W]: amplifier plus a fractional ADC share.
+
+    Args:
+        nef: amplifier noise efficiency factor.
+        input_noise_vrms: target input-referred noise.
+        bandwidth_hz: recording bandwidth (~ sampling rate / 2).
+        supply_v: analog supply voltage.
+        adc_overhead: ADC + biasing power as a fraction of amplifier power.
+    """
+    if supply_v <= 0:
+        raise ValueError("supply voltage must be positive")
+    if adc_overhead < 0:
+        raise ValueError("ADC overhead must be non-negative")
+    current = nef_input_current(nef, input_noise_vrms, bandwidth_hz)
+    return current * supply_v * (1.0 + adc_overhead)
+
+
+@dataclass(frozen=True)
+class AnalogFrontEnd:
+    """A bank of identical per-channel AFEs.
+
+    Attributes:
+        nef: noise efficiency factor of each amplifier.
+        input_noise_vrms: input-referred noise target.
+        bandwidth_hz: recording bandwidth per channel.
+        supply_v: analog supply.
+        adc_overhead: ADC power as a fraction of amplifier power.
+    """
+
+    nef: float = 3.0
+    input_noise_vrms: float = 5e-6
+    bandwidth_hz: float = 5e3
+    supply_v: float = 1.2
+    adc_overhead: float = 0.35
+
+    @property
+    def channel_power_w(self) -> float:
+        """Power of one channel's front end."""
+        return afe_channel_power(self.nef, self.input_noise_vrms,
+                                 self.bandwidth_hz, self.supply_v,
+                                 self.adc_overhead)
+
+    def total_power_w(self, n_channels: int) -> float:
+        """Linear sensing-power scaling (the basis of Eq. 5)."""
+        if n_channels <= 0:
+            raise ValueError("channel count must be positive")
+        return n_channels * self.channel_power_w
+
+    def with_noise_target(self, input_noise_vrms: float) -> "AnalogFrontEnd":
+        """Same AFE at a different noise target (power ~ 1/V_rms^2)."""
+        return AnalogFrontEnd(nef=self.nef,
+                              input_noise_vrms=input_noise_vrms,
+                              bandwidth_hz=self.bandwidth_hz,
+                              supply_v=self.supply_v,
+                              adc_overhead=self.adc_overhead)

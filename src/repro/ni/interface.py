@@ -1,0 +1,91 @@
+"""NeuralInterface facade: analog array -> digitized frames -> throughput.
+
+Binds the geometry, front-end, and ADC models into the sensing stage of the
+implanted SoC pipeline (paper Fig. 3, left block), and exposes Eq. 6:
+
+    T_sensing(n) = d * n / t_s  =  d * n * f        [bit/s]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ni.adc import AdcModel
+from repro.ni.afe import AnalogFrontEnd
+from repro.ni.geometry import ArrayGeometry
+
+
+def sensing_throughput(n_channels: int, sample_bits: int,
+                       sampling_rate_hz: float) -> float:
+    """Eq. 6: raw digitized data rate of the NI [bit/s].
+
+    Raises:
+        ValueError: on non-positive arguments.
+    """
+    if n_channels <= 0:
+        raise ValueError("channel count must be positive")
+    if sample_bits <= 0:
+        raise ValueError("sample bitwidth must be positive")
+    if sampling_rate_hz <= 0:
+        raise ValueError("sampling rate must be positive")
+    return float(sample_bits) * n_channels * sampling_rate_hz
+
+
+@dataclass
+class NeuralInterface:
+    """The full sensing subsystem of an implanted SoC.
+
+    Attributes:
+        geometry: electrode/SPAD array geometry.
+        afe: analog front-end model (per-channel power).
+        adc: digitization model (bitwidth, rate).
+    """
+
+    geometry: ArrayGeometry
+    afe: AnalogFrontEnd = field(default_factory=AnalogFrontEnd)
+    adc: AdcModel = field(default_factory=AdcModel)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of parallel recording channels."""
+        return self.geometry.n_channels
+
+    @property
+    def throughput_bps(self) -> float:
+        """Eq. 6 sensing throughput for this interface."""
+        return sensing_throughput(self.n_channels, self.adc.bits,
+                                  self.adc.sampling_rate_hz)
+
+    @property
+    def sensing_power_w(self) -> float:
+        """Total AFE power across channels (linear in n, Eq. 5 basis)."""
+        return self.afe.total_power_w(self.n_channels)
+
+    def acquire(self, analog: np.ndarray) -> np.ndarray:
+        """Digitize a block of analog channel data.
+
+        Args:
+            analog: array of shape (n_channels, n_samples).
+
+        Returns:
+            Integer codes of the same shape.
+
+        Raises:
+            ValueError: if the channel dimension does not match the array.
+        """
+        analog = np.asarray(analog, dtype=float)
+        if analog.ndim != 2:
+            raise ValueError("expected (n_channels, n_samples) array")
+        if analog.shape[0] != self.n_channels:
+            raise ValueError(
+                f"array has {self.n_channels} channels, data has "
+                f"{analog.shape[0]}")
+        return self.adc.convert(analog)
+
+    def frame_bits(self, n_samples: int) -> int:
+        """Total bits produced by a block of ``n_samples`` per channel."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        return self.n_channels * n_samples * self.adc.bits

@@ -1,0 +1,149 @@
+"""SPAD neural imager model (Table 1 designs 2 and 11).
+
+Optical neural interfaces replace electrodes with single-photon avalanche
+diodes: optogenetically labelled neurons emit fluorescence photons whose
+arrival at each pixel is a Poisson process.  The imager integrates photon
+counts over a frame period, so the "channel" of the MINDFUL analysis is a
+pixel and the sampling rate is the frame rate.  The model here captures:
+
+* Poisson photon statistics (signal + dark counts) per pixel per frame,
+* shot-noise-limited SNR = signal / sqrt(signal + dark),
+* counter-width driven data rate (bits/pixel/frame), and
+* a per-pixel power model (quench/recharge energy per avalanche plus
+  readout), matching the nW/pixel regime of published devices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpadImager:
+    """A SPAD pixel array acting as an optical neural interface.
+
+    Attributes:
+        n_pixels: number of SPAD pixels (the NI channel count).
+        frame_rate_hz: frame (sampling) rate f.
+        signal_rate_hz: mean fluorescence photon rate per active pixel.
+        dark_rate_hz: dark-count rate per pixel.
+        counter_bits: per-pixel counter width; saturating counts clip.
+        avalanche_energy_j: quench/recharge energy per detected photon.
+        readout_energy_per_bit_j: energy to shift one bit off-array.
+    """
+
+    n_pixels: int
+    frame_rate_hz: float = 1e3
+    signal_rate_hz: float = 5e4
+    dark_rate_hz: float = 2e3
+    counter_bits: int = 8
+    avalanche_energy_j: float = 5e-12
+    readout_energy_per_bit_j: float = 5e-13
+
+    def __post_init__(self) -> None:
+        if self.n_pixels <= 0:
+            raise ValueError("pixel count must be positive")
+        if self.frame_rate_hz <= 0:
+            raise ValueError("frame rate must be positive")
+        if self.signal_rate_hz < 0 or self.dark_rate_hz < 0:
+            raise ValueError("photon rates must be non-negative")
+        if self.counter_bits < 1:
+            raise ValueError("counter width must be >= 1")
+
+    @property
+    def frame_period_s(self) -> float:
+        """Integration time of one frame."""
+        return 1.0 / self.frame_rate_hz
+
+    @property
+    def mean_signal_counts(self) -> float:
+        """Expected fluorescence photons per pixel per frame."""
+        return self.signal_rate_hz * self.frame_period_s
+
+    @property
+    def mean_dark_counts(self) -> float:
+        """Expected dark counts per pixel per frame."""
+        return self.dark_rate_hz * self.frame_period_s
+
+    @property
+    def shot_noise_snr(self) -> float:
+        """Shot-noise-limited SNR of one frame's count."""
+        total = self.mean_signal_counts + self.mean_dark_counts
+        if total == 0:
+            return 0.0
+        return self.mean_signal_counts / math.sqrt(total)
+
+    @property
+    def throughput_bps(self) -> float:
+        """Eq. 6 analogue: counter_bits * n_pixels * frame_rate."""
+        return self.counter_bits * self.n_pixels * self.frame_rate_hz
+
+    @property
+    def saturation_counts(self) -> int:
+        """Largest count the per-pixel counter can hold."""
+        return 2 ** self.counter_bits - 1
+
+    @property
+    def saturation_probability(self) -> float:
+        """Probability a pixel's Poisson count clips in one frame.
+
+        Gaussian tail approximation around the Poisson mean; exact enough
+        for the design check (is the counter wide enough?).
+        """
+        mean = self.mean_signal_counts + self.mean_dark_counts
+        if mean == 0:
+            return 0.0
+        z = (self.saturation_counts + 0.5 - mean) / math.sqrt(mean)
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    def pixel_power_w(self) -> float:
+        """Average per-pixel power: avalanches plus counter readout."""
+        avalanche_rate = self.signal_rate_hz + self.dark_rate_hz
+        avalanche = avalanche_rate * self.avalanche_energy_j
+        readout = (self.counter_bits * self.frame_rate_hz
+                   * self.readout_energy_per_bit_j)
+        return avalanche + readout
+
+    def sensing_power_w(self) -> float:
+        """Total array power (linear in pixel count, as Eq. 5 assumes)."""
+        return self.n_pixels * self.pixel_power_w()
+
+    def capture_frame(self, rng: np.random.Generator,
+                      activity: np.ndarray | None = None) -> np.ndarray:
+        """Draw one frame of Poisson counts.
+
+        Args:
+            rng: random generator.
+            activity: optional per-pixel activity scaling of the signal
+                rate (1.0 = nominal); shape (n_pixels,).
+
+        Returns:
+            Integer counts clipped to the counter width.
+        """
+        if activity is None:
+            signal = np.full(self.n_pixels, self.mean_signal_counts)
+        else:
+            activity = np.asarray(activity, dtype=float)
+            if activity.shape != (self.n_pixels,):
+                raise ValueError(
+                    f"activity must have shape ({self.n_pixels},)")
+            if np.any(activity < 0):
+                raise ValueError("activity must be non-negative")
+            signal = activity * self.mean_signal_counts
+        counts = rng.poisson(signal + self.mean_dark_counts)
+        return np.minimum(counts, self.saturation_counts).astype(np.int32)
+
+    def with_frame_rate(self, frame_rate_hz: float) -> "SpadImager":
+        """Same imager at a different (e.g. reduced) frame rate — the
+        configurable-sampling trade-off the paper notes for 49k-pixel
+        devices."""
+        return SpadImager(
+            n_pixels=self.n_pixels, frame_rate_hz=frame_rate_hz,
+            signal_rate_hz=self.signal_rate_hz,
+            dark_rate_hz=self.dark_rate_hz,
+            counter_bits=self.counter_bits,
+            avalanche_energy_j=self.avalanche_energy_j,
+            readout_energy_per_bit_j=self.readout_energy_per_bit_j)

@@ -1,0 +1,28 @@
+"""Thermal safety substrate: the 40 mW/cm^2 budget and tissue heating.
+
+Paper Section 3.2: brain tissue tolerates at most a 1-2 degC rise, which —
+given cortical blood perfusion — translates into a safe implant power
+density of 40 mW/cm^2.  ``power_budget`` is Eq. 3; ``TissueThermalModel``
+is the first-order uniform-dissipation heating model (after Serrano et al.)
+that justifies using a flat density limit in the first place.
+"""
+
+from repro.thermal.budget import (
+    power_budget,
+    power_density,
+    is_safe,
+    SafetyReport,
+    assess,
+)
+from repro.thermal.model import TissueThermalModel
+from repro.thermal.grid import ChipThermalGrid
+
+__all__ = [
+    "power_budget",
+    "power_density",
+    "is_safe",
+    "SafetyReport",
+    "assess",
+    "TissueThermalModel",
+    "ChipThermalGrid",
+]

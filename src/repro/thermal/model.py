@@ -1,0 +1,99 @@
+"""First-order tissue heating model behind the 40 mW/cm^2 limit.
+
+A steady, uniform heat flux q'' from the implant surface into perfused
+brain tissue produces a surface temperature rise governed by the Pennes
+bioheat balance.  For a 1-D half-space with conductivity k and blood
+perfusion w (volumetric exchange rate), the temperature field decays as
+``exp(-m x)`` with ``m = sqrt(rho_b c_b w / k)`` and the surface rise is
+
+    dT = q'' / (k m + h_extra)
+
+where ``h_extra`` folds in parallel heat paths (CSF convection, conduction
+toward the skull).  With textbook brain parameters the model yields a rise
+of ~1-1.5 degC at the paper's 40 mW/cm^2 limit — consistent with the safe
+1-2 degC window (Section 3.2) and the uniform-dissipation assumption of
+Serrano et al.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import SAFE_TEMPERATURE_RISE_K
+
+
+@dataclass(frozen=True)
+class TissueThermalModel:
+    """Perfused-tissue heating model.
+
+    Attributes:
+        conductivity_w_mk: tissue thermal conductivity k [W/(m K)].
+        perfusion_per_s: blood perfusion rate w [1/s].
+        blood_heat_capacity_j_m3k: rho_b * c_b of blood [J/(m^3 K)].
+        tissue_heat_capacity_j_m3k: rho * c of brain tissue [J/(m^3 K)].
+        h_extra_w_m2k: parallel non-perfusion heat-loss coefficient.
+    """
+
+    conductivity_w_mk: float = 0.51
+    perfusion_per_s: float = 0.012
+    blood_heat_capacity_j_m3k: float = 3.8e6
+    tissue_heat_capacity_j_m3k: float = 3.7e6
+    h_extra_w_m2k: float = 150.0
+
+    def __post_init__(self) -> None:
+        if min(self.conductivity_w_mk, self.perfusion_per_s,
+               self.blood_heat_capacity_j_m3k,
+               self.tissue_heat_capacity_j_m3k) <= 0:
+            raise ValueError("physical parameters must be positive")
+        if self.h_extra_w_m2k < 0:
+            raise ValueError("h_extra must be non-negative")
+
+    @property
+    def decay_constant_per_m(self) -> float:
+        """m = sqrt(rho_b c_b w / k): inverse thermal penetration depth."""
+        return math.sqrt(self.blood_heat_capacity_j_m3k
+                         * self.perfusion_per_s / self.conductivity_w_mk)
+
+    @property
+    def effective_h_w_m2k(self) -> float:
+        """Total surface heat-transfer coefficient [W/(m^2 K)]."""
+        return (self.conductivity_w_mk * self.decay_constant_per_m
+                + self.h_extra_w_m2k)
+
+    def steady_state_rise_k(self, power_density_w_m2: float) -> float:
+        """Surface temperature rise for a sustained flux [K]."""
+        if power_density_w_m2 < 0:
+            raise ValueError("power density must be non-negative")
+        return power_density_w_m2 / self.effective_h_w_m2k
+
+    def depth_rise_k(self, power_density_w_m2: float,
+                     depth_m: float) -> float:
+        """Temperature rise at a given depth into tissue [K]."""
+        if depth_m < 0:
+            raise ValueError("depth must be non-negative")
+        surface = self.steady_state_rise_k(power_density_w_m2)
+        return surface * math.exp(-self.decay_constant_per_m * depth_m)
+
+    @property
+    def time_constant_s(self) -> float:
+        """Lumped thermal time constant of the heated tissue layer."""
+        penetration = 1.0 / self.decay_constant_per_m
+        return (self.tissue_heat_capacity_j_m3k * penetration
+                / self.effective_h_w_m2k)
+
+    def transient_rise_k(self, power_density_w_m2: float,
+                         elapsed_s: float) -> float:
+        """First-order step response toward the steady-state rise [K]."""
+        if elapsed_s < 0:
+            raise ValueError("elapsed time must be non-negative")
+        steady = self.steady_state_rise_k(power_density_w_m2)
+        return steady * (1.0 - math.exp(-elapsed_s / self.time_constant_s))
+
+    def safe_density_w_m2(self,
+                          max_rise_k: float = SAFE_TEMPERATURE_RISE_K,
+                          ) -> float:
+        """Power density producing exactly ``max_rise_k`` at steady state."""
+        if max_rise_k <= 0:
+            raise ValueError("temperature limit must be positive")
+        return max_rise_k * self.effective_h_w_m2k

@@ -1,0 +1,28 @@
+"""Wearable SoC substrate — the non-implanted half of the BCI (Fig. 1/2).
+
+The implant's counterpart sits outside the skull: it receives the RF
+stream, runs whatever computation was offloaded (the DNN tail after
+Section 6.1 partitioning, or the whole decoder in communication-centric
+systems), and forwards results.  Its constraint is not tissue safety but
+the battery: the paper notes wearables enjoy "more relaxed power
+constraints", and this package quantifies exactly how relaxed — receiver
+power, compute power at wearable-class technology, and battery life.
+"""
+
+from repro.wearable.receiver import Receiver
+from repro.wearable.platform import (
+    BatteryPack,
+    WearablePlatform,
+    WearableBudgetReport,
+)
+from repro.wearable.system import BciSystem, SystemReport, evaluate_system
+
+__all__ = [
+    "Receiver",
+    "BatteryPack",
+    "WearablePlatform",
+    "WearableBudgetReport",
+    "BciSystem",
+    "SystemReport",
+    "evaluate_system",
+]

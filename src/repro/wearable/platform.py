@@ -1,0 +1,116 @@
+"""Wearable compute platform and battery model.
+
+The wearable hosts whatever computation is not on the implant.  Its MACs
+run at a mobile-class technology node without a thermal-safety ceiling,
+but every joule comes out of a battery — so the figure of merit flips
+from power density to battery life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.schedule import best_schedule
+from repro.accel.tech import TECH_12NM, TechnologyNode
+from repro.dnn.network import Network
+
+
+@dataclass(frozen=True)
+class BatteryPack:
+    """A wearable battery.
+
+    Attributes:
+        capacity_wh: energy capacity in watt-hours.
+        derating: usable fraction (aging, cutoff voltage).
+    """
+
+    capacity_wh: float = 5.0
+    derating: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < self.derating <= 1.0:
+            raise ValueError("derating must lie in (0, 1]")
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Deliverable energy [J]."""
+        return self.capacity_wh * 3600.0 * self.derating
+
+    def lifetime_hours(self, load_w: float) -> float:
+        """Runtime at a constant load [h].
+
+        Raises:
+            ValueError: for non-positive loads.
+        """
+        if load_w <= 0:
+            raise ValueError("load must be positive")
+        return self.usable_energy_j / load_w / 3600.0
+
+
+@dataclass(frozen=True)
+class WearableBudgetReport:
+    """Power/lifetime assessment of a wearable workload.
+
+    Attributes:
+        receive_power_w: RF receive chain power.
+        compute_power_w: decoder-tail compute power.
+        base_power_w: housekeeping (MCU, memory, host link).
+        lifetime_hours: battery life under the total load.
+    """
+
+    receive_power_w: float
+    compute_power_w: float
+    base_power_w: float
+    lifetime_hours: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Total wearable load."""
+        return (self.receive_power_w + self.compute_power_w
+                + self.base_power_w)
+
+
+@dataclass(frozen=True)
+class WearablePlatform:
+    """The wearable's compute and housekeeping characteristics.
+
+    Attributes:
+        tech: MAC technology node for the hosted decoder tail.
+        base_power_w: always-on housekeeping power.
+        battery: the energy source.
+    """
+
+    tech: TechnologyNode = TECH_12NM
+    base_power_w: float = 10e-3
+    battery: BatteryPack = BatteryPack()
+
+    def __post_init__(self) -> None:
+        if self.base_power_w < 0:
+            raise ValueError("base power must be non-negative")
+
+    def compute_power_w(self, network: Network,
+                        inference_rate_hz: float) -> float:
+        """Eq. 13-style bound for hosting a network at a given rate.
+
+        The wearable has no 40 mW/cm^2 ceiling, so any schedule meeting
+        the deadline is acceptable; the minimal-unit schedule still gives
+        the energy floor.
+
+        Raises:
+            ValueError: if even the maximal allocation misses the rate
+                (the network is too deep for the deadline).
+        """
+        if inference_rate_hz <= 0:
+            raise ValueError("inference rate must be positive")
+        profiles = network.mac_profiles()
+        if not profiles:
+            return 0.0
+        schedule = best_schedule(profiles, 1.0 / inference_rate_hz,
+                                 self.tech)
+        if schedule is None:
+            raise ValueError(
+                f"{network.name} cannot meet {inference_rate_hz:.3g} Hz "
+                f"even fully parallel on {self.tech.name}")
+        return schedule.power_w(self.tech)

@@ -1,0 +1,51 @@
+"""Wearable-side RF receiver model.
+
+Receive energy per bit is far below transmit energy (no tissue path to
+overcome from the receiver's side — the implant already paid the link
+budget), but it is not free: LNA, demodulation, and clock recovery burn a
+roughly constant energy per received bit, plus a fixed always-on front-end
+floor while the link is up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Receiver:
+    """A wearable RF receive chain.
+
+    Attributes:
+        energy_per_bit_j: demodulation/processing energy per bit.
+        front_end_power_w: always-on LNA + synthesizer floor.
+        max_data_rate_bps: front-end bandwidth limit.
+    """
+
+    energy_per_bit_j: float = 5e-12
+    front_end_power_w: float = 2e-3
+    max_data_rate_bps: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.energy_per_bit_j < 0 or self.front_end_power_w < 0:
+            raise ValueError("receiver energies must be non-negative")
+        if self.max_data_rate_bps <= 0:
+            raise ValueError("max data rate must be positive")
+
+    def supports(self, data_rate_bps: float) -> bool:
+        """True when the stream fits the receiver's bandwidth."""
+        if data_rate_bps < 0:
+            raise ValueError("data rate must be non-negative")
+        return data_rate_bps <= self.max_data_rate_bps
+
+    def power_w(self, data_rate_bps: float) -> float:
+        """Average receive power while taking a stream [W].
+
+        Raises:
+            ValueError: for rates beyond the front end's capability.
+        """
+        if not self.supports(data_rate_bps):
+            raise ValueError(
+                f"stream of {data_rate_bps:.3g} b/s exceeds receiver "
+                f"limit {self.max_data_rate_bps:.3g} b/s")
+        return self.front_end_power_w + data_rate_bps * self.energy_per_bit_j

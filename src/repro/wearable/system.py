@@ -1,0 +1,157 @@
+"""End-to-end BCI system evaluation: implant + RF link + wearable.
+
+Joins the implanted-SoC analysis (Sections 4-6) with the wearable models
+into the complete Fig. 1 system under each dataflow:
+
+* ``comm_centric`` — the implant streams raw data; the wearable receives
+  it and runs the *entire* DNN.
+* ``comp_centric`` — the implant runs the whole DNN; the wearable only
+  receives 40 labels.
+* ``partitioned``  — Section 6.1: head on the implant, tail on the
+  wearable, intermediate activations on the air.
+
+The report pairs the implant's safety verdict (power ratio against
+Eq. 3) with the wearable's battery life — the two constraints that
+actually decide deployability.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.comp_centric import (
+    Workload,
+    build_workload,
+    evaluate_comp_centric,
+)
+from repro.core.partitioning import evaluate_partitioned
+from repro.core.scaling import ScaledSoC
+from repro.units import SAFE_POWER_DENSITY
+from repro.wearable.platform import WearableBudgetReport, WearablePlatform
+from repro.wearable.receiver import Receiver
+
+
+class Dataflow(enum.Enum):
+    """Where the DNN runs (paper Fig. 3 plus the Section 6.1 hybrid)."""
+
+    COMM_CENTRIC = "comm_centric"
+    COMP_CENTRIC = "comp_centric"
+    PARTITIONED = "partitioned"
+
+
+@dataclass(frozen=True)
+class BciSystem:
+    """A complete implant + wearable configuration.
+
+    Attributes:
+        soc: the scaled implanted design.
+        workload: the decoding DNN.
+        dataflow: who runs it.
+        receiver: wearable RF receiver.
+        platform: wearable compute/battery platform.
+    """
+
+    soc: ScaledSoC
+    workload: Workload
+    dataflow: Dataflow
+    receiver: Receiver = Receiver()
+    platform: WearablePlatform = WearablePlatform()
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """End-to-end evaluation of one system configuration.
+
+    Attributes:
+        dataflow: the evaluated dataflow.
+        n_channels: NI channel count.
+        air_rate_bps: data rate crossing the skull.
+        implant_power_w: total implant power.
+        implant_power_ratio: implant power over the Eq. 3 budget.
+        wearable: the wearable-side budget report.
+    """
+
+    dataflow: Dataflow
+    n_channels: int
+    air_rate_bps: float
+    implant_power_w: float
+    implant_power_ratio: float
+    wearable: WearableBudgetReport
+
+    @property
+    def implant_safe(self) -> bool:
+        """Implant within the tissue-safety budget."""
+        return self.implant_power_ratio <= 1.0
+
+    @property
+    def deployable(self) -> bool:
+        """Safe implant and at least a waking day of wearable battery."""
+        return self.implant_safe and self.wearable.lifetime_hours >= 16.0
+
+
+def evaluate_system(system: BciSystem, n_channels: int) -> SystemReport:
+    """Evaluate a full BCI system at a channel count.
+
+    Raises:
+        ValueError: for non-positive channel counts or streams beyond the
+            wearable receiver's bandwidth.
+    """
+    if n_channels <= 0:
+        raise ValueError("channel count must be positive")
+    soc = system.soc
+    network = build_workload(system.workload, n_channels)
+    inference_rate = soc.sampling_hz
+
+    if system.dataflow is Dataflow.COMM_CENTRIC:
+        air_rate = soc.sensing_throughput_bps(n_channels)
+        implant_power = (soc.sensing_power_w(n_channels)
+                         + air_rate * soc.implied_energy_per_bit_j)
+        area = (soc.sensing_area_m2(n_channels)
+                + soc.non_sensing_area_m2 * n_channels / soc.n_channels)
+        wearable_net = network
+    elif system.dataflow is Dataflow.COMP_CENTRIC:
+        point = evaluate_comp_centric(soc, system.workload, n_channels)
+        air_rate = (network.output_values * soc.sample_bits
+                    * soc.sampling_hz)
+        implant_power = point.total_power_w
+        area = soc.sensing_area_m2(n_channels) + soc.non_sensing_area_m2
+        wearable_net = None
+    else:
+        point = evaluate_partitioned(soc, system.workload, n_channels)
+        air_rate = (point.transmitted_values * soc.sample_bits
+                    * soc.sampling_hz)
+        implant_power = point.total_power_w
+        area = soc.sensing_area_m2(n_channels) + soc.non_sensing_area_m2
+        if point.split_layer is None:
+            wearable_net = None  # whole network stayed on the implant
+        else:
+            wearable_net = network.tail(point.split_layer)
+
+    receive_power = system.receiver.power_w(air_rate)
+    if wearable_net is None:
+        compute_power = 0.0
+    else:
+        compute_power = system.platform.compute_power_w(wearable_net,
+                                                        inference_rate)
+    base = system.platform.base_power_w
+    total_wearable = receive_power + compute_power + base
+    wearable = WearableBudgetReport(
+        receive_power_w=receive_power,
+        compute_power_w=compute_power,
+        base_power_w=base,
+        lifetime_hours=system.platform.battery.lifetime_hours(
+            total_wearable),
+    )
+    budget = area * SAFE_POWER_DENSITY
+    ratio = (implant_power / budget if math.isfinite(implant_power)
+             else math.inf)
+    return SystemReport(
+        dataflow=system.dataflow,
+        n_channels=n_channels,
+        air_rate_bps=air_rate,
+        implant_power_w=implant_power,
+        implant_power_ratio=ratio,
+        wearable=wearable,
+    )

@@ -1,0 +1,95 @@
+"""Tests for the interconnect (routing overhead) model."""
+
+import math
+
+import pytest
+
+from repro.accel.interconnect import InterconnectModel
+from repro.accel.schedule import best_schedule
+from repro.accel.tech import TECH_45NM
+from repro.dnn.models import build_speech_mlp
+
+
+@pytest.fixture(scope="module")
+def mlp_schedule():
+    net = build_speech_mlp(1024)
+    return net, best_schedule(net.mac_profiles(), 1.0 / 8e3, TECH_45NM)
+
+
+class TestGeometry:
+    def test_array_side_sqrt_scaling(self):
+        model = InterconnectModel()
+        assert model.array_side_mm(400) == pytest.approx(
+            2 * model.array_side_mm(100))
+
+    def test_single_pe_side(self):
+        model = InterconnectModel(pe_area_mm2=0.04)
+        assert model.array_side_mm(1) == pytest.approx(0.2)
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            InterconnectModel().array_side_mm(0)
+
+
+class TestEnergy:
+    def test_broadcast_energy_sublinear_in_pes(self):
+        model = InterconnectModel()
+        per4 = model.broadcast_energy_per_word_j(4)
+        per400 = model.broadcast_energy_per_word_j(400)
+        assert per400 == pytest.approx(10 * per4)  # sqrt(100)
+
+    def test_word_width_scales_energy(self):
+        wide = InterconnectModel(word_bits=16)
+        narrow = InterconnectModel(word_bits=8)
+        assert wide.broadcast_energy_per_word_j(64) == pytest.approx(
+            2 * narrow.broadcast_energy_per_word_j(64))
+
+    def test_inference_energy_positive(self, mlp_schedule):
+        net, schedule = mlp_schedule
+        assert InterconnectModel().inference_energy_j(net, schedule) > 0
+
+    def test_rejects_mismatched_schedule(self, mlp_schedule):
+        _, schedule = mlp_schedule
+        other = build_speech_mlp(4096)
+        with pytest.raises(ValueError):
+            InterconnectModel().inference_energy_j(other, schedule)
+
+
+class TestOverhead:
+    def test_routing_is_second_order_at_1024(self, mlp_schedule):
+        # Section 8's premise: routing is secondary today...
+        net, schedule = mlp_schedule
+        fraction = InterconnectModel().overhead_fraction(
+            net, schedule, 8e3, TECH_45NM)
+        assert fraction < 0.5
+
+    def test_routing_grows_with_scale(self):
+        # ...but grows with design size (per-word energy ~ sqrt(PEs)).
+        model = InterconnectModel()
+        deadline = 1.0 / 8e3
+        small_net = build_speech_mlp(512)
+        big_net = build_speech_mlp(2048)
+        small = best_schedule(small_net.mac_profiles(), deadline,
+                              TECH_45NM)
+        big = best_schedule(big_net.mac_profiles(), deadline, TECH_45NM)
+        assert (model.broadcast_energy_per_word_j(big.mac_units)
+                > model.broadcast_energy_per_word_j(small.mac_units))
+
+    def test_power_scales_with_rate(self, mlp_schedule):
+        net, schedule = mlp_schedule
+        model = InterconnectModel()
+        assert model.power_w(net, schedule, 16e3) == pytest.approx(
+            2 * model.power_w(net, schedule, 8e3))
+
+    def test_rejects_bad_rate(self, mlp_schedule):
+        net, schedule = mlp_schedule
+        with pytest.raises(ValueError):
+            InterconnectModel().power_w(net, schedule, 0.0)
+
+    def test_zero_mac_power_gives_inf_fraction(self, mlp_schedule):
+        net, schedule = mlp_schedule
+        from repro.accel.tech import TechnologyNode
+        free = TechnologyNode(name="free", t_mac_s=1e-9, p_mac_w=1e-30)
+        fraction = InterconnectModel().overhead_fraction(net, schedule,
+                                                         8e3, free)
+        assert fraction > 1e6 or math.isinf(fraction)

@@ -1,0 +1,92 @@
+"""Tests for the Fig. 9 accelerator power model."""
+
+import pytest
+
+from repro.accel.power import (
+    FIG9_DESIGN_POINTS,
+    AcceleratorPowerModel,
+    LayerDesignPoint,
+    fig9_power_table,
+)
+
+
+class TestDesignPoints:
+    def test_twelve_points(self):
+        assert len(FIG9_DESIGN_POINTS) == 12
+
+    def test_first_five_vary_only_ops(self):
+        for point in FIG9_DESIGN_POINTS[:5]:
+            assert point.mac_seq == 256
+            assert point.mac_hw == 4
+        ops = [p.mac_ops for p in FIG9_DESIGN_POINTS[:5]]
+        assert ops == [4, 8, 16, 32, 64]
+
+    def test_designs_6_9_grow_hw_to_match_ops(self):
+        for point in FIG9_DESIGN_POINTS[5:9]:
+            assert point.mac_ops == 64
+        assert [p.mac_hw for p in FIG9_DESIGN_POINTS[5:9]] == [8, 16, 32, 64]
+
+    def test_large_designs_scale_everything(self):
+        assert FIG9_DESIGN_POINTS[11].mac_seq == 2048
+        assert FIG9_DESIGN_POINTS[11].mac_hw == 512
+
+    def test_rom_words_per_pe(self):
+        point = LayerDesignPoint(99, mac_seq=256, mac_hw=4, mac_ops=64)
+        assert point.rom_words_per_pe == 16 * 256
+
+    def test_eq12_enforced(self):
+        with pytest.raises(ValueError):
+            LayerDesignPoint(99, mac_seq=256, mac_hw=8, mac_ops=4)
+
+
+class TestPowerModel:
+    def test_pe_fraction_trend_matches_fig9(self):
+        model = AcceleratorPowerModel()
+        fractions = [model.pe_fraction(p) for p in FIG9_DESIGN_POINTS]
+        # Designs 1-5: ~25 %.
+        for frac in fractions[:5]:
+            assert frac == pytest.approx(0.25, abs=0.05)
+        # Design 9: ~80 %.
+        assert fractions[8] == pytest.approx(0.80, abs=0.07)
+        # Design 12: ~96 %.
+        assert fractions[11] == pytest.approx(0.96, abs=0.03)
+
+    def test_fraction_monotone_from_6_to_12(self):
+        model = AcceleratorPowerModel()
+        fractions = [model.pe_fraction(p) for p in FIG9_DESIGN_POINTS[5:]]
+        assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_layer_power_is_pe_plus_control(self):
+        model = AcceleratorPowerModel()
+        point = FIG9_DESIGN_POINTS[0]
+        assert model.layer_power(point) == pytest.approx(
+            model.pe_power(point) + model.control_power(point))
+
+    def test_power_grows_with_hw(self):
+        model = AcceleratorPowerModel()
+        assert (model.layer_power(FIG9_DESIGN_POINTS[5])
+                < model.layer_power(FIG9_DESIGN_POINTS[8]))
+
+    def test_latency_matches_eq11(self):
+        model = AcceleratorPowerModel()
+        point = FIG9_DESIGN_POINTS[4]  # 256 seq, 4 hw, 64 ops
+        expected = 256 * model.tech.t_mac_s * 16
+        assert model.layer_latency_s(point) == pytest.approx(expected)
+
+
+class TestFig9Table:
+    def test_row_count_and_keys(self):
+        rows = fig9_power_table()
+        assert len(rows) == 12
+        assert set(rows[0]) >= {"design", "layer_power_mw", "pe_power_mw",
+                                "pe_fraction"}
+
+    def test_pe_power_below_layer_power(self):
+        for row in fig9_power_table():
+            assert row["pe_power_mw"] < row["layer_power_mw"]
+
+    def test_design_12_power_magnitude(self):
+        # Hundreds of PEs at ~0.1 mW each -> tens of mW, log-scale range
+        # of the paper's plot.
+        row = fig9_power_table()[11]
+        assert 10.0 < row["layer_power_mw"] < 1000.0

@@ -1,0 +1,149 @@
+"""Tests for the Eq. 11-15 MAC schedulers."""
+
+import math
+
+import pytest
+
+from repro.accel.schedule import (
+    best_schedule,
+    compute_power_lower_bound,
+    schedule_non_pipelined,
+    schedule_pipelined,
+)
+from repro.accel.tech import TECH_45NM
+from repro.dnn.macs import LayerMacs
+
+
+def profiles_simple():
+    return [LayerMacs(mac_seq=100, mac_ops=50),
+            LayerMacs(mac_seq=50, mac_ops=20)]
+
+
+class TestNonPipelined:
+    def test_single_unit_runtime(self):
+        # With 1 unit: 100*50 + 50*20 = 6000 steps * 2 ns = 12 us.
+        schedule = schedule_non_pipelined(profiles_simple(), 1.0, TECH_45NM)
+        assert schedule.mac_units == 1
+        assert schedule.runtime_s == pytest.approx(12e-6)
+
+    def test_minimality(self):
+        # Deadline exactly at the 2-unit runtime: 100*25 + 50*10 = 3000
+        # steps * 2 ns = 6 us.
+        schedule = schedule_non_pipelined(profiles_simple(), 6e-6,
+                                          TECH_45NM)
+        assert schedule.mac_units == 2
+        assert schedule.runtime_s <= 6e-6
+
+    def test_eq12_unit_cap(self):
+        # Even max units cannot beat MACseq-serial time.
+        profiles = [LayerMacs(mac_seq=1000, mac_ops=4)]
+        # With 4 units: 1000 * 2 ns = 2 us; deadline below that -> None.
+        assert schedule_non_pipelined(profiles, 1e-6, TECH_45NM) is None
+
+    def test_units_never_exceed_max_ops(self):
+        profiles = [LayerMacs(mac_seq=10, mac_ops=7)]
+        schedule = schedule_non_pipelined(profiles, 1.0, TECH_45NM)
+        assert schedule.mac_units <= 7
+
+    def test_deadline_respected(self):
+        for deadline in (1e-5, 5e-5, 1e-4):
+            schedule = schedule_non_pipelined(profiles_simple(), deadline,
+                                              TECH_45NM)
+            if schedule is not None:
+                assert schedule.runtime_s <= deadline
+
+    def test_tighter_deadline_needs_more_units(self):
+        loose = schedule_non_pipelined(profiles_simple(), 1e-4, TECH_45NM)
+        tight = schedule_non_pipelined(profiles_simple(), 7e-6, TECH_45NM)
+        assert tight.mac_units > loose.mac_units
+
+    def test_rejects_empty_profiles(self):
+        with pytest.raises(ValueError):
+            schedule_non_pipelined([], 1.0, TECH_45NM)
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError):
+            schedule_non_pipelined(profiles_simple(), 0.0, TECH_45NM)
+
+    def test_rejects_non_compute_layers(self):
+        with pytest.raises(ValueError):
+            schedule_non_pipelined([LayerMacs(0, 0)], 1.0, TECH_45NM)
+
+
+class TestPipelined:
+    def test_per_layer_allocation(self):
+        # Deadline 10 us: layer 1 rounds budget = 10us/200ns = 50 ->
+        # units = ceil(50/50) = 1; layer 2: budget 100 -> units 1.
+        schedule = schedule_pipelined(profiles_simple(), 10e-6, TECH_45NM)
+        assert schedule.per_layer_units == (1, 1)
+        assert schedule.mac_units == 2
+
+    def test_initiation_interval_below_deadline(self):
+        schedule = schedule_pipelined(profiles_simple(), 1e-5, TECH_45NM)
+        assert schedule.runtime_s <= 1e-5
+
+    def test_infeasible_when_sequence_exceeds_deadline(self):
+        profiles = [LayerMacs(mac_seq=10_000, mac_ops=1)]
+        # 10k steps * 2 ns = 20 us > 10 us deadline, unparallelizable.
+        assert schedule_pipelined(profiles, 10e-6, TECH_45NM) is None
+
+    def test_eq15_per_layer_cap(self):
+        profiles = [LayerMacs(mac_seq=100, mac_ops=10)]
+        schedule = schedule_pipelined(profiles, 1e-3, TECH_45NM)
+        assert all(u <= p.mac_ops
+                   for u, p in zip(schedule.per_layer_units, profiles))
+
+    def test_pipelining_can_beat_shared_pool(self):
+        # Three balanced layers at a deadline just above one layer's
+        # single-unit time: the pool must race through all three in
+        # sequence while the pipeline overlaps them with 1 unit each.
+        profiles = [LayerMacs(mac_seq=1000, mac_ops=64)] * 3
+        deadline = 128.5e-6  # one layer on one unit takes 128 us
+        pooled = schedule_non_pipelined(profiles, deadline, TECH_45NM)
+        piped = schedule_pipelined(profiles, deadline, TECH_45NM)
+        assert piped.mac_units == 3
+        assert piped.mac_units < pooled.mac_units
+
+
+class TestBestSchedule:
+    def test_picks_lower_power(self):
+        profiles = profiles_simple()
+        deadline = 1e-5
+        best = best_schedule(profiles, deadline, TECH_45NM)
+        candidates = [schedule_non_pipelined(profiles, deadline, TECH_45NM),
+                      schedule_pipelined(profiles, deadline, TECH_45NM)]
+        units = [c.mac_units for c in candidates if c is not None]
+        assert best.mac_units == min(units)
+
+    def test_returns_none_when_both_infeasible(self):
+        profiles = [LayerMacs(mac_seq=10_000_000, mac_ops=1)]
+        assert best_schedule(profiles, 1e-6, TECH_45NM) is None
+
+    def test_power_lower_bound_eq13(self):
+        profiles = profiles_simple()
+        bound = compute_power_lower_bound(profiles, 1e-5, TECH_45NM)
+        best = best_schedule(profiles, 1e-5, TECH_45NM)
+        assert bound == pytest.approx(best.mac_units * TECH_45NM.p_mac_w)
+
+    def test_power_lower_bound_infeasible_is_none(self):
+        profiles = [LayerMacs(mac_seq=10_000_000, mac_ops=1)]
+        assert compute_power_lower_bound(profiles, 1e-6, TECH_45NM) is None
+
+    def test_power_scales_with_throughput_demand(self):
+        profiles = [LayerMacs(mac_seq=256, mac_ops=4096)]
+        slow = compute_power_lower_bound(profiles, 1e-2, TECH_45NM)
+        fast = compute_power_lower_bound(profiles, 1e-4, TECH_45NM)
+        assert fast > slow
+
+    def test_total_mac_conservation(self):
+        # Whatever the allocation, executed MAC steps equal the profile sum.
+        profiles = profiles_simple()
+        total = sum(p.total_macs for p in profiles)
+        assert total == 100 * 50 + 50 * 20
+
+    def test_runtime_matches_eq11_formula(self):
+        profiles = [LayerMacs(mac_seq=7, mac_ops=13)]
+        schedule = schedule_non_pipelined(profiles, 1.0, TECH_45NM)
+        expected = 7 * TECH_45NM.t_mac_s * math.ceil(
+            13 / schedule.mac_units)
+        assert schedule.runtime_s == pytest.approx(expected)

@@ -1,0 +1,102 @@
+"""Tests cross-checking the PE-array simulator against theory and layers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accel.simulate import PEArraySimulator
+from repro.accel.tech import TECH_45NM
+from repro.dnn.layers import Dense
+
+
+def make_sim(rng, out_features=8, in_features=16, mac_hw=3, **kwargs):
+    weight = rng.standard_normal((out_features, in_features))
+    bias = rng.standard_normal(out_features)
+    return PEArraySimulator(weight, bias, mac_hw, TECH_45NM, **kwargs), \
+        weight, bias
+
+
+class TestFunctionalCorrectness:
+    def test_matches_dense_layer(self, rng):
+        sim, weight, bias = make_sim(rng, relu=True)
+        layer = Dense(16, 8)
+        layer.weight, layer.bias = weight, bias
+        layer.grad_weight = np.zeros_like(weight)
+        layer.grad_bias = np.zeros_like(bias)
+        x = rng.standard_normal(16)
+        expected = layer.forward(x[None, :])[0]
+        expected = np.maximum(expected, 0.0)
+        result = sim.run(x)
+        np.testing.assert_allclose(result.outputs, expected, atol=1e-9)
+
+    def test_no_relu_mode(self, rng):
+        sim, weight, bias = make_sim(rng, relu=False)
+        x = rng.standard_normal(16)
+        expected = weight @ x + bias
+        np.testing.assert_allclose(sim.run(x).outputs, expected, atol=1e-9)
+
+    def test_fixed_point_quantization_close_to_float(self, rng):
+        sim, weight, bias = make_sim(rng, relu=False, fixed_point_bits=12)
+        x = rng.uniform(-1, 1, 16)
+        expected = weight @ x + bias
+        result = sim.run(x)
+        assert np.max(np.abs(result.outputs - expected)) < 0.05
+
+    def test_low_precision_differs(self, rng):
+        fine, weight, bias = make_sim(rng, relu=False, fixed_point_bits=16)
+        coarse = PEArraySimulator(weight, bias, 3, TECH_45NM, relu=False,
+                                  fixed_point_bits=3)
+        x = rng.uniform(-1, 1, 16)
+        err_fine = np.max(np.abs(fine.run(x).outputs - (weight @ x + bias)))
+        err_coarse = np.max(np.abs(coarse.run(x).outputs
+                                   - (weight @ x + bias)))
+        assert err_coarse > err_fine
+
+
+class TestCycleAccounting:
+    def test_cycles_match_eq11(self, rng):
+        sim, *_ = make_sim(rng, out_features=8, in_features=16, mac_hw=3)
+        result = sim.run(rng.standard_normal(16))
+        assert result.cycles == 16 * math.ceil(8 / 3)
+
+    def test_exact_division_no_padding(self, rng):
+        sim, *_ = make_sim(rng, out_features=8, in_features=16, mac_hw=4)
+        result = sim.run(rng.standard_normal(16))
+        assert result.cycles == 16 * 2
+
+    def test_elapsed_uses_tmac(self, rng):
+        sim, *_ = make_sim(rng, mac_hw=8)
+        result = sim.run(rng.standard_normal(16))
+        assert result.elapsed_s == pytest.approx(
+            result.cycles * TECH_45NM.t_mac_s)
+
+    def test_energy_counts_active_steps_only(self, rng):
+        sim, *_ = make_sim(rng, out_features=8, in_features=16, mac_hw=3)
+        result = sim.run(rng.standard_normal(16))
+        assert result.mac_steps == 8 * 16
+        assert result.energy_j == pytest.approx(
+            8 * 16 * TECH_45NM.energy_per_mac_j)
+
+    def test_more_pes_fewer_cycles(self, rng):
+        few, weight, bias = make_sim(rng, mac_hw=1)
+        many = PEArraySimulator(weight, bias, 8, TECH_45NM)
+        x = rng.standard_normal(16)
+        assert many.run(x).cycles < few.run(x).cycles
+
+
+class TestValidation:
+    def test_rejects_eq12_violation(self, rng):
+        weight = rng.standard_normal((4, 8))
+        with pytest.raises(ValueError):
+            PEArraySimulator(weight, np.zeros(4), 5, TECH_45NM)
+
+    def test_rejects_bad_bias(self, rng):
+        weight = rng.standard_normal((4, 8))
+        with pytest.raises(ValueError):
+            PEArraySimulator(weight, np.zeros(3), 2, TECH_45NM)
+
+    def test_rejects_wrong_input_shape(self, rng):
+        sim, *_ = make_sim(rng)
+        with pytest.raises(ValueError):
+            sim.run(rng.standard_normal(15))

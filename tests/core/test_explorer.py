@@ -1,0 +1,87 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.core.explorer import ExplorationReport, explore
+
+
+@pytest.fixture(scope="module")
+def bisc_report():
+    from repro.core.scaling import scale_to_standard
+    from repro.core.socs import soc_by_number
+    return explore(scale_to_standard(soc_by_number(1)),
+                   target_channels=2048)
+
+
+class TestExplore:
+    def test_all_strategies_present(self, bisc_report):
+        strategies = {o.strategy for o in bisc_report.outcomes}
+        assert any("naive" in s for s in strategies)
+        assert any("high margin" in s for s in strategies)
+        assert any("QAM" in s for s in strategies)
+        assert any("compressed" in s for s in strategies)
+        assert any("event stream" in s for s in strategies)
+        assert any("on-implant mlp" in s for s in strategies)
+        assert any("partitioned dncnn" in s for s in strategies)
+
+    def test_best_strategy_is_feasible_minimum(self, bisc_report):
+        best = bisc_report.best_strategy()
+        assert best is not None
+        assert best.feasible_at_target
+        for outcome in bisc_report.outcomes:
+            if outcome.feasible_at_target:
+                assert best.power_ratio_at_target <= \
+                    outcome.power_ratio_at_target + 1e-12
+
+    def test_frontier_keys_match_outcomes(self, bisc_report):
+        frontier = bisc_report.frontier()
+        assert set(frontier) == {o.strategy for o in bisc_report.outcomes}
+
+    def test_event_stream_dominates_frontier(self, bisc_report):
+        # Spike-only streaming has the largest (unbounded) safe range.
+        frontier = bisc_report.frontier()
+        event = next(v for k, v in frontier.items() if "event" in k)
+        assert event is None or event > 8192
+
+    def test_closed_loop_strategy_present(self, bisc_report):
+        loop = next(o for o in bisc_report.outcomes
+                    if "closed loop" in o.strategy)
+        # The per-decision deadline dwarfs the per-sample one, so the
+        # closed-loop frontier far exceeds the streaming-DNN frontier.
+        streaming = next(o for o in bisc_report.outcomes
+                         if o.strategy == "on-implant mlp")
+        assert loop.max_channels > streaming.max_channels
+
+    def test_partitioned_frontier_at_least_full(self, bisc_report):
+        frontier = bisc_report.frontier()
+        assert frontier["partitioned mlp"] >= frontier["on-implant mlp"]
+
+    def test_dncnn_infeasible_at_2048_for_bisc(self, bisc_report):
+        dncnn = next(o for o in bisc_report.outcomes
+                     if o.strategy == "on-implant dncnn")
+        assert not dncnn.feasible_at_target
+
+    def test_report_metadata(self, bisc_report):
+        assert isinstance(bisc_report, ExplorationReport)
+        assert bisc_report.soc_name == "BISC"
+        assert bisc_report.target_channels == 2048
+
+    def test_rejects_below_standard_target(self):
+        from repro.core.scaling import scale_to_standard
+        from repro.core.socs import soc_by_number
+        soc = scale_to_standard(soc_by_number(1))
+        with pytest.raises(ValueError):
+            explore(soc, target_channels=512)
+
+
+class TestNoFeasibleStrategy:
+    def test_best_none_when_everything_fails(self):
+        # HALO* at a huge target: nothing can be feasible.
+        from repro.core.scaling import scale_to_standard
+        from repro.core.socs import soc_by_number
+        halo = scale_to_standard(soc_by_number(8))
+        report = explore(halo, target_channels=1 << 17,
+                         compression_ratio=1.01)
+        streaming = [o for o in report.outcomes
+                     if "OOK" in o.strategy or "QAM" in o.strategy]
+        assert any(not o.feasible_at_target for o in streaming)

@@ -1,0 +1,76 @@
+"""Tests for the multi-implant (tiled) scaling alternative."""
+
+import pytest
+
+from repro.core.multi_implant import (
+    MultiImplantSystem,
+    channels_vs_single_implant,
+    max_implants,
+)
+
+
+class TestSystemProperties:
+    def test_totals_scale_linearly(self, bisc):
+        system = MultiImplantSystem(bisc, 4)
+        assert system.total_channels == 4096
+        assert system.total_area_m2 == pytest.approx(4 * bisc.area_m2)
+        assert system.total_power_w == pytest.approx(4 * bisc.power_w)
+
+    def test_per_tile_safety_independent_of_count(self, bisc):
+        assert MultiImplantSystem(bisc, 1).per_tile_safe
+        assert MultiImplantSystem(bisc, 100).per_tile_safe
+
+    def test_bandwidth_constraint_binds(self, bisc):
+        # 12 tiles x 82 Mbps < 1 Gbps, 13 tiles > 1 Gbps.
+        assert MultiImplantSystem(bisc, 12).within_wearable_bandwidth
+        assert not MultiImplantSystem(bisc, 13).within_wearable_bandwidth
+
+    def test_area_constraint_binds(self, bisc):
+        # 400 cm^2 / 1.44 cm^2 = 277 tiles.
+        assert MultiImplantSystem(bisc, 277).within_cortical_area
+        assert not MultiImplantSystem(bisc, 278).within_cortical_area
+
+    def test_rejects_invalid(self, bisc):
+        with pytest.raises(ValueError):
+            MultiImplantSystem(bisc, 0)
+        with pytest.raises(ValueError):
+            MultiImplantSystem(bisc, 1, wearable_bandwidth_bps=0.0)
+
+
+class TestMaxImplants:
+    def test_bisc_is_bandwidth_limited(self, bisc):
+        # Bandwidth (12) binds before cortical area (277).
+        assert max_implants(bisc) == 12
+
+    def test_wider_wearable_admits_more_tiles(self, bisc):
+        assert max_implants(bisc, wearable_bandwidth_bps=4e9) == 48
+
+    def test_area_limits_eventually(self, bisc):
+        assert max_implants(bisc, wearable_bandwidth_bps=1e12) == 277
+
+    def test_tiling_beats_single_implant_dnn_frontier(
+            self, wireless_scaled):
+        # Tiling reaches more channels than the single-implant DNN
+        # frontier of Fig. 10 — the system-level argument for SCALO-like
+        # deployments.
+        from repro.core.comp_centric import Workload, max_feasible_channels
+        for soc in wireless_scaled:
+            tiles = max_implants(soc)
+            single = max_feasible_channels(soc, Workload.MLP)
+            assert tiles * soc.n_channels > single, soc.name
+
+    def test_result_is_feasible_and_maximal(self, bisc):
+        best = max_implants(bisc)
+        assert MultiImplantSystem(bisc, best).feasible
+        assert not MultiImplantSystem(bisc, best + 1).feasible
+
+
+class TestComparison:
+    def test_multiplier_vs_single_implant(self, bisc):
+        # Against the ~2048-channel single-implant MLP frontier.
+        multiplier = channels_vs_single_implant(bisc, 2048)
+        assert multiplier == pytest.approx(12 * 1024 / 2048)
+
+    def test_rejects_bad_limit(self, bisc):
+        with pytest.raises(ValueError):
+            channels_vs_single_implant(bisc, 0)

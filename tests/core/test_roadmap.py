@@ -1,0 +1,69 @@
+"""Tests for the channel-count roadmap."""
+
+import math
+
+import pytest
+
+from repro.core.roadmap import ChannelRoadmap
+
+
+class TestTrend:
+    def test_anchor_point(self):
+        roadmap = ChannelRoadmap()
+        assert roadmap.channels_in(2025) == pytest.approx(1024)
+
+    def test_doubling_period(self):
+        roadmap = ChannelRoadmap()
+        assert roadmap.channels_in(2032) == pytest.approx(2048)
+        assert roadmap.channels_in(2039) == pytest.approx(4096)
+
+    def test_year_reaching_inverts(self):
+        roadmap = ChannelRoadmap()
+        for channels in (1024, 2048, 10_000, 100_000):
+            year = roadmap.year_reaching(channels)
+            assert roadmap.channels_in(year) == pytest.approx(channels)
+
+    def test_past_for_below_anchor(self):
+        roadmap = ChannelRoadmap()
+        assert roadmap.year_reaching(512) < 2025
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            ChannelRoadmap(doubling_years=0.0)
+        with pytest.raises(ValueError):
+            ChannelRoadmap().year_reaching(0)
+
+
+class TestHorizons:
+    def test_unbounded_strategy_never_breaks(self):
+        assert math.isinf(ChannelRoadmap().strategy_horizon(None))
+
+    def test_dnn_frontier_breaks_within_a_decade(self, bisc):
+        # The ~2048-channel MLP frontier is overtaken by 2032.
+        from repro.core.comp_centric import Workload, max_feasible_channels
+        roadmap = ChannelRoadmap()
+        frontier = max_feasible_channels(bisc, Workload.MLP)
+        horizon = roadmap.strategy_horizon(frontier)
+        assert 2025 <= horizon <= 2035
+
+    def test_qam_buys_years_over_ook(self, bisc):
+        from repro.core.comm_centric import (
+            DesignHypothesis,
+            budget_crossing_channels,
+        )
+        from repro.core.qam_design import max_channels_at_efficiency
+        roadmap = ChannelRoadmap()
+        ook = budget_crossing_channels(bisc, DesignHypothesis.HIGH_MARGIN)
+        qam = max_channels_at_efficiency(bisc, 1.0)
+        assert roadmap.strategy_horizon(qam) > \
+            roadmap.strategy_horizon(ook) - 5  # comparable decade
+
+    def test_acceleration_shortens_horizons(self):
+        base = ChannelRoadmap()
+        fast = base.with_acceleration(2.0)
+        assert fast.strategy_horizon(4096) < base.strategy_horizon(4096)
+        assert fast.doubling_years == pytest.approx(3.5)
+
+    def test_acceleration_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ChannelRoadmap().with_acceleration(0.0)

@@ -1,0 +1,123 @@
+"""Tests for the Table 1 database."""
+
+import pytest
+
+from repro.core.socs import (
+    DEFAULT_SAMPLE_BITS,
+    STANDARD_CHANNELS,
+    TABLE1,
+    NIType,
+    ScalingRule,
+    SoCRecord,
+    soc_by_number,
+    wireless_socs,
+)
+from repro.units import mm2, mw_per_cm2, to_mw
+
+
+class TestTable1Contents:
+    def test_eleven_designs(self):
+        assert len(TABLE1) == 11
+
+    def test_paper_numbering(self):
+        assert [r.number for r in TABLE1] == list(range(1, 12))
+
+    def test_wireless_split(self):
+        # Designs 1-8 are wireless; 9-11 wired.
+        assert [r.wireless for r in TABLE1] == [True] * 8 + [False] * 3
+
+    def test_spad_designs(self):
+        spads = [r.number for r in TABLE1 if r.ni_type is NIType.SPAD]
+        assert spads == [2, 11]
+
+    def test_spad_designs_have_49152_channels(self):
+        for number in (2, 11):
+            assert soc_by_number(number).n_channels == 49152
+
+    def test_halo_over_budget_as_reported(self):
+        halo = soc_by_number(8)
+        assert not halo.below_budget
+        assert halo.power_density_w_m2 == pytest.approx(mw_per_cm2(1500))
+
+    def test_all_others_below_budget(self):
+        for record in TABLE1:
+            if record.number != 8:
+                assert record.below_budget
+
+    def test_neuralink_parameters(self):
+        neuralink = soc_by_number(3)
+        assert neuralink.n_channels == 1024
+        assert neuralink.area_m2 == pytest.approx(mm2(20))
+        assert neuralink.sampling_hz == pytest.approx(10e3)
+
+    def test_sampling_rates_in_1_to_30_khz(self):
+        for record in TABLE1:
+            assert 1e3 <= record.sampling_hz <= 30e3
+
+    def test_default_sample_bits(self):
+        assert DEFAULT_SAMPLE_BITS == 10
+        assert all(r.sample_bits == 10 for r in TABLE1)
+
+    def test_standard_channels(self):
+        assert STANDARD_CHANNELS == 1024
+
+
+class TestScalingMetadata:
+    def test_neuropixels_scales_linearly(self):
+        assert soc_by_number(9).scaling_rule is ScalingRule.LINEAR
+
+    def test_spads_use_nominal(self):
+        assert soc_by_number(2).scaling_rule is ScalingRule.NOMINAL
+        assert soc_by_number(11).scaling_rule is ScalingRule.NOMINAL
+
+    def test_halo_overridden(self):
+        assert soc_by_number(8).scaling_rule is ScalingRule.OVERRIDE
+
+    def test_muller_area_correction(self):
+        assert soc_by_number(5).area_correction == pytest.approx(2.0)
+
+    def test_wimagine_corrections(self):
+        wimagine = soc_by_number(7)
+        assert wimagine.area_correction == pytest.approx(100.0)
+        assert wimagine.power_correction == pytest.approx(50.0)
+
+
+class TestHelpers:
+    def test_power_w_from_density(self):
+        bisc = soc_by_number(1)
+        assert to_mw(bisc.power_w) == pytest.approx(38.88)
+
+    def test_lookup_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            soc_by_number(12)
+
+    def test_wireless_socs_returns_eight(self):
+        assert len(wireless_socs()) == 8
+
+    def test_with_updates(self):
+        modified = soc_by_number(1).with_updates(sample_bits=16)
+        assert modified.sample_bits == 16
+        assert soc_by_number(1).sample_bits == 10
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(number=99, name="X", ni_type=NIType.ELECTRODES,
+                    n_channels=10, area_m2=1e-6,
+                    power_density_w_m2=100.0, sampling_hz=1e3,
+                    wireless=True, below_budget=True)
+
+    def test_rejects_bad_channels(self):
+        kwargs = self._base_kwargs() | {"n_channels": 0}
+        with pytest.raises(ValueError):
+            SoCRecord(**kwargs)
+
+    def test_rejects_bad_fraction(self):
+        kwargs = self._base_kwargs() | {"sensing_area_fraction": 1.0}
+        with pytest.raises(ValueError):
+            SoCRecord(**kwargs)
+
+    def test_rejects_bad_correction(self):
+        kwargs = self._base_kwargs() | {"area_correction": 0.0}
+        with pytest.raises(ValueError):
+            SoCRecord(**kwargs)

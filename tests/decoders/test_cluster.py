@@ -1,0 +1,131 @@
+"""Tests for the unsupervised spike-sorting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.cluster import (
+    extract_snippets,
+    kmeans,
+    pca_features,
+    sort_spikes,
+)
+from repro.decoders.spikesort import SpikeDetector
+from repro.signals.spikes import (
+    biphasic_spike_template,
+    poisson_spike_train,
+    render_spike_waveform,
+)
+
+FS = 30e3
+
+
+def two_unit_recording(rng, duration=4.0):
+    """Noise with two units of distinct waveform shapes and amplitudes."""
+    n = int(duration * FS)
+    signal = 0.6 * rng.standard_normal(n)
+    t_fast = biphasic_spike_template(FS, depolarization_s=1.5e-4,
+                                     amplitude=9.0)
+    t_slow = biphasic_spike_template(FS, depolarization_s=4e-4,
+                                     amplitude=5.0)
+    truth = {}
+    for name, template, rate in (("fast", t_fast, 8.0),
+                                 ("slow", t_slow, 8.0)):
+        spikes = np.flatnonzero(poisson_spike_train(
+            rate, duration, FS, rng, refractory_s=5e-3))
+        signal += render_spike_waveform(spikes, template, n)
+        truth[name] = spikes
+    return signal, truth
+
+
+class TestSnippets:
+    def test_shape_and_alignment(self, rng):
+        signal = rng.standard_normal(1000)
+        signal[100] = -50.0
+        snippets = extract_snippets(signal, np.array([100]), length=16,
+                                    pre=4)
+        assert snippets.shape == (1, 16)
+        assert snippets[0, 4] == -50.0
+
+    def test_edge_padding(self, rng):
+        signal = rng.standard_normal(20)
+        snippets = extract_snippets(signal, np.array([1, 18]), length=16,
+                                    pre=8)
+        assert snippets.shape == (2, 16)  # padded, no crash
+
+    def test_rejects_bad_window(self, rng):
+        with pytest.raises(ValueError):
+            extract_snippets(rng.standard_normal(10), np.array([5]),
+                             length=4, pre=4)
+
+
+class TestPca:
+    def test_scores_shape(self, rng):
+        snippets = rng.standard_normal((50, 32))
+        scores, components = pca_features(snippets, 3)
+        assert scores.shape == (50, 3)
+        assert components.shape == (3, 32)
+
+    def test_components_orthonormal(self, rng):
+        snippets = rng.standard_normal((40, 16))
+        _, components = pca_features(snippets, 3)
+        np.testing.assert_allclose(components @ components.T, np.eye(3),
+                                   atol=1e-9)
+
+    def test_first_component_captures_most_variance(self, rng):
+        snippets = rng.standard_normal((100, 8))
+        snippets[:, 0] *= 10  # dominant direction
+        scores, _ = pca_features(snippets, 2)
+        assert scores[:, 0].var() > scores[:, 1].var()
+
+    def test_rejects_too_few_snippets(self, rng):
+        with pytest.raises(ValueError):
+            pca_features(rng.standard_normal((2, 8)), 3)
+
+
+class TestKmeans:
+    def test_separates_obvious_clusters(self, rng):
+        a = rng.standard_normal((40, 2)) + [10, 0]
+        b = rng.standard_normal((40, 2)) - [10, 0]
+        features = np.vstack([a, b])
+        labels, centroids = kmeans(features, 2, rng)
+        assert len(np.unique(labels[:40])) == 1
+        assert len(np.unique(labels[40:])) == 1
+        assert labels[0] != labels[40]
+        assert centroids.shape == (2, 2)
+
+    def test_k_one_single_cluster(self, rng):
+        labels, _ = kmeans(rng.standard_normal((20, 3)), 1, rng)
+        assert np.all(labels == 0)
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal((5, 2)), 6, rng)
+
+
+class TestSortSpikes:
+    def test_recovers_two_units(self, rng):
+        signal, truth = two_unit_recording(rng)
+        detected = SpikeDetector(refractory_samples=60).detect(signal)
+        result = sort_spikes(signal, detected, n_units=2, rng=rng)
+        assert result.n_units == 2
+        # Units must differ in waveform: template peak amplitudes apart.
+        peaks = np.sort(np.abs(result.templates).max(axis=1))
+        assert peaks[1] > 1.3 * peaks[0]
+
+    def test_cluster_assignment_matches_ground_truth(self, rng):
+        signal, truth = two_unit_recording(rng)
+        detected = SpikeDetector(refractory_samples=60).detect(signal)
+        result = sort_spikes(signal, detected, n_units=2, rng=rng)
+        # Map each detection to its true unit by proximity.
+        true_labels = []
+        for idx in detected:
+            d_fast = np.min(np.abs(truth["fast"] - idx))
+            d_slow = np.min(np.abs(truth["slow"] - idx))
+            true_labels.append(0 if d_fast < d_slow else 1)
+        true_labels = np.array(true_labels)
+        agreement = np.mean(result.labels == true_labels)
+        assert max(agreement, 1 - agreement) > 0.8  # up to label swap
+
+    def test_rejects_too_few_spikes(self, rng):
+        with pytest.raises(ValueError):
+            sort_spikes(rng.standard_normal(100), np.array([10]), 2, rng)

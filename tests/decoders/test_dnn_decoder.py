@@ -1,0 +1,46 @@
+"""Tests for the DNN decoder wrapper."""
+
+import numpy as np
+
+from repro.decoders.dnn_decoder import DnnDecoder
+from repro.dnn.layers import Dense, Tanh
+from repro.dnn.network import Network
+from repro.signals.datasets import make_speech_dataset
+
+
+def small_decoder(rng, n_in=32, n_out=40):
+    net = Network([Dense(n_in, 64, rng=rng), Tanh(),
+                   Dense(64, n_out, rng=rng), Tanh()],
+                  input_shape=(n_in,))
+    return DnnDecoder(net, epochs=30, learning_rate=0.3)
+
+
+class TestDnnDecoder:
+    def test_not_fitted_initially(self, rng):
+        assert not small_decoder(rng).fitted
+
+    def test_training_reduces_loss(self, rng):
+        data = make_speech_dataset(8, 600, rng, window=4, noise_rms=0.05)
+        decoder = small_decoder(rng, n_in=32)
+        history = decoder.fit(data.features, data.targets, rng)
+        assert history[-1] < history[0]
+        assert decoder.fitted
+
+    def test_learns_speech_mapping(self, rng):
+        data = make_speech_dataset(8, 1500, rng, window=4, noise_rms=0.05)
+        split = 1200
+        decoder = small_decoder(rng, n_in=32)
+        decoder.fit(data.features[:split], data.targets[:split], rng)
+        score = decoder.score(data.features[split:], data.targets[split:])
+        assert score > 0.4
+
+    def test_decode_shape(self, rng):
+        decoder = small_decoder(rng)
+        out = decoder.decode(rng.standard_normal((7, 32)))
+        assert out.shape == (7, 40)
+
+    def test_score_of_constant_target_is_zero(self, rng):
+        decoder = small_decoder(rng, n_in=4, n_out=2)
+        features = rng.standard_normal((10, 4))
+        targets = np.ones((10, 2))
+        assert decoder.score(features, targets) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the Kalman filter decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.kalman import KalmanFilterDecoder
+from repro.signals.datasets import make_cursor_dataset
+
+
+class TestFitting:
+    def test_recovers_dynamics_of_linear_system(self, rng):
+        # x_t = 0.9 x_{t-1} + noise, y = 2x + noise.
+        t_len = 3000
+        x = np.zeros((t_len, 1))
+        for t in range(1, t_len):
+            x[t] = 0.9 * x[t - 1] + 0.1 * rng.standard_normal(1)
+        y = 2.0 * x + 0.01 * rng.standard_normal((t_len, 1))
+        decoder = KalmanFilterDecoder()
+        decoder.fit(x, y)
+        assert decoder.A[0, 0] == pytest.approx(0.9, abs=0.05)
+        assert decoder.H[0, 0] == pytest.approx(2.0, abs=0.1)
+
+    def test_fitted_flag(self):
+        decoder = KalmanFilterDecoder()
+        assert not decoder.fitted
+        decoder.fit(np.random.default_rng(0).standard_normal((10, 2)),
+                    np.random.default_rng(1).standard_normal((10, 3)))
+        assert decoder.fitted
+
+    def test_rejects_mismatched_lengths(self, rng):
+        decoder = KalmanFilterDecoder()
+        with pytest.raises(ValueError):
+            decoder.fit(rng.standard_normal((10, 2)),
+                        rng.standard_normal((9, 3)))
+
+    def test_rejects_too_short(self, rng):
+        decoder = KalmanFilterDecoder()
+        with pytest.raises(ValueError):
+            decoder.fit(rng.standard_normal((2, 2)),
+                        rng.standard_normal((2, 3)))
+
+    def test_rejects_1d(self, rng):
+        decoder = KalmanFilterDecoder()
+        with pytest.raises(ValueError):
+            decoder.fit(rng.standard_normal(10),
+                        rng.standard_normal((10, 3)))
+
+
+class TestDecoding:
+    def test_decode_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            KalmanFilterDecoder().decode(rng.standard_normal((5, 3)))
+
+    def test_cursor_decoding_beats_chance(self, rng):
+        data = make_cursor_dataset(48, 4000, rng, noise_rms=0.2)
+        split = 3000
+        decoder = KalmanFilterDecoder()
+        decoder.fit(data.velocity[:split], data.features[:split])
+        score = decoder.score(data.velocity[split:],
+                              data.features[split:])
+        assert score > 0.5
+
+    def test_decoded_shape(self, rng):
+        data = make_cursor_dataset(16, 500, rng)
+        decoder = KalmanFilterDecoder()
+        decoder.fit(data.velocity, data.features)
+        decoded = decoder.decode(data.features)
+        assert decoded.shape == data.velocity.shape
+
+    def test_initial_state_honored(self, rng):
+        data = make_cursor_dataset(16, 200, rng)
+        decoder = KalmanFilterDecoder()
+        decoder.fit(data.velocity, data.features)
+        start = np.array([5.0, -5.0])
+        decoded = decoder.decode(data.features[:1], initial_state=start)
+        # One update step pulls toward the observation but the prior shows.
+        assert not np.allclose(decoded[0], 0.0)
+
+    def test_filter_smooths_noise(self, rng):
+        # On a true linear-dynamical system with heavy observation noise,
+        # the filter must beat a memoryless least-squares readout.
+        t_len, split = 4000, 3000
+        x = np.zeros((t_len, 2))
+        for t in range(1, t_len):
+            x[t] = 0.95 * x[t - 1] + 0.2 * rng.standard_normal(2)
+        h = rng.standard_normal((12, 2))
+        y = x @ h.T + 2.0 * rng.standard_normal((t_len, 12))
+        decoder = KalmanFilterDecoder()
+        decoder.fit(x[:split], y[:split])
+        kalman = decoder.decode(y[split:])
+        w, *_ = np.linalg.lstsq(y[:split], x[:split], rcond=None)
+        naive = y[split:] @ w
+        truth = x[split:]
+        err_kalman = np.mean((kalman - truth) ** 2)
+        err_naive = np.mean((naive - truth) ** 2)
+        assert err_kalman < err_naive

@@ -1,0 +1,117 @@
+"""Tests for the shrinkage-LDA classifier."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.lda import LdaClassifier
+
+
+def gaussian_classes(rng, n_per_class=200, separation=3.0, d=8,
+                     n_classes=3):
+    means = rng.standard_normal((n_classes, d)) * separation
+    features, labels = [], []
+    for c in range(n_classes):
+        features.append(means[c] + rng.standard_normal((n_per_class, d)))
+        labels.append(np.full(n_per_class, c))
+    return np.vstack(features), np.concatenate(labels)
+
+
+class TestFitting:
+    def test_fitted_flag(self, rng):
+        clf = LdaClassifier()
+        assert not clf.fitted
+        x, y = gaussian_classes(rng)
+        clf.fit(x, y)
+        assert clf.fitted
+
+    def test_rejects_single_class(self, rng):
+        clf = LdaClassifier()
+        with pytest.raises(ValueError):
+            clf.fit(rng.standard_normal((10, 3)), np.zeros(10))
+
+    def test_rejects_mismatched(self, rng):
+        with pytest.raises(ValueError):
+            LdaClassifier().fit(rng.standard_normal((10, 3)),
+                                np.zeros(9))
+
+    def test_rejects_bad_shrinkage(self):
+        with pytest.raises(ValueError):
+            LdaClassifier(shrinkage=1.5)
+
+
+class TestClassification:
+    def test_separable_classes_high_accuracy(self, rng):
+        x, y = gaussian_classes(rng, separation=4.0)
+        clf = LdaClassifier()
+        clf.fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_generalizes_to_held_out(self, rng):
+        x, y = gaussian_classes(rng, n_per_class=300, separation=3.0)
+        order = rng.permutation(len(x))
+        x, y = x[order], y[order]
+        split = 600
+        clf = LdaClassifier()
+        clf.fit(x[:split], y[:split])
+        assert clf.score(x[split:], y[split:]) > 0.9
+
+    def test_predict_returns_known_classes(self, rng):
+        x, y = gaussian_classes(rng)
+        clf = LdaClassifier()
+        clf.fit(x, y)
+        assert set(clf.predict(x)) <= set(np.unique(y))
+
+    def test_decision_scores_shape(self, rng):
+        x, y = gaussian_classes(rng, n_classes=4)
+        clf = LdaClassifier()
+        clf.fit(x, y)
+        assert clf.decision_function(x[:7]).shape == (7, 4)
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LdaClassifier().predict(rng.standard_normal((3, 2)))
+
+    def test_shrinkage_rescues_singular_regime(self, rng):
+        # More features than samples: full covariance is singular but
+        # shrinkage keeps the classifier usable.
+        x, y = gaussian_classes(rng, n_per_class=10, d=50,
+                                separation=5.0, n_classes=2)
+        clf = LdaClassifier(shrinkage=0.5)
+        clf.fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_priors_break_ties(self, rng):
+        # With overlapping classes and imbalanced data, the majority
+        # class dominates ambiguous samples.
+        x0 = rng.standard_normal((400, 2))
+        x1 = rng.standard_normal((40, 2)) + 0.1
+        x = np.vstack([x0, x1])
+        y = np.concatenate([np.zeros(400), np.ones(40)])
+        clf = LdaClassifier()
+        clf.fit(x, y)
+        preds = clf.predict(rng.standard_normal((200, 2)))
+        assert np.mean(preds == 0) > 0.7
+
+
+class TestWithSpectralFeatures:
+    def test_classifies_band_states(self, rng):
+        # Two "mental states": alpha-dominant vs gamma-dominant epochs —
+        # the classic discrete-BCI pipeline with our spectral features.
+        from repro.signals.spectral import band_power_features
+        fs, n_epochs = 1000.0, 30
+        t = np.arange(int(fs)) / fs
+        features, labels = [], []
+        for i in range(n_epochs):
+            noise = 0.5 * rng.standard_normal((2, t.size))
+            if i % 2 == 0:
+                sig = np.sin(2 * np.pi * 10.0 * t)
+            else:
+                sig = np.sin(2 * np.pi * 60.0 * t)
+            data = noise + sig
+            features.append(band_power_features(data, fs).reshape(-1))
+            labels.append(i % 2)
+        features = np.log(np.array(features) + 1e-12)
+        labels = np.array(labels)
+        clf = LdaClassifier(shrinkage=0.2)
+        clf.fit(features[:20], labels[:20])
+        assert clf.score(features[20:], labels[20:]) == 1.0

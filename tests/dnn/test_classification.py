@@ -1,0 +1,111 @@
+"""Tests for the classification head: Softmax + cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import Dense, ReLU, Softmax
+from repro.dnn.network import Network
+from repro.dnn.train import cross_entropy_loss, sgd_step
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.standard_normal((5, 7)))
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_outputs_positive(self, rng):
+        out = Softmax().forward(rng.standard_normal((3, 4)) * 10)
+        assert np.all(out > 0)
+
+    def test_shift_invariance(self, rng):
+        layer = Softmax()
+        x = rng.standard_normal((2, 5))
+        a = layer.forward(x)
+        b = layer.forward(x + 100.0)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_numerically_stable_at_extremes(self):
+        out = Softmax().forward(np.array([[1000.0, 0.0, -1000.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_backward_matches_numeric_gradient(self, rng):
+        layer = Softmax()
+        x = rng.standard_normal((2, 4))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        analytic = layer.backward(2 * out)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        flat, nflat = x.reshape(-1), numeric.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            hi = loss()
+            flat[i] = orig - eps
+            lo = loss()
+            flat[i] = orig
+            nflat[i] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_no_mac_work(self):
+        assert not Softmax().mac_profile((10,)).is_compute
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        p = np.array([[1.0, 0.0], [0.0, 1.0]])
+        loss, _ = cross_entropy_loss(p, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_log_n(self):
+        p = np.full((4, 8), 1 / 8)
+        loss, _ = cross_entropy_loss(p, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(8))
+
+    def test_one_hot_labels_accepted(self):
+        p = np.array([[0.7, 0.3]])
+        by_index, _ = cross_entropy_loss(p, np.array([0]))
+        by_onehot, _ = cross_entropy_loss(p, np.array([[1.0, 0.0]]))
+        assert by_index == pytest.approx(by_onehot)
+
+    def test_gradient_through_softmax_is_p_minus_y(self, rng):
+        softmax = Softmax()
+        logits = rng.standard_normal((3, 5))
+        p = softmax.forward(logits)
+        labels = np.array([0, 2, 4])
+        _, grad = cross_entropy_loss(p, labels)
+        through = softmax.backward(grad)
+        one_hot = np.zeros_like(p)
+        one_hot[np.arange(3), labels] = 1.0
+        np.testing.assert_allclose(through, (p - one_hot) / 3, atol=1e-9)
+
+    def test_rejects_bad_labels(self):
+        p = np.full((2, 3), 1 / 3)
+        with pytest.raises(ValueError):
+            cross_entropy_loss(p, np.array([0, 5]))
+        with pytest.raises(ValueError):
+            cross_entropy_loss(p, np.array([0]))
+
+
+class TestClassificationTraining:
+    def test_learns_linearly_separable_classes(self, rng):
+        n, classes = 400, 3
+        centers = rng.standard_normal((classes, 4)) * 3
+        labels = rng.integers(0, classes, n)
+        x = centers[labels] + 0.3 * rng.standard_normal((n, 4))
+
+        net = Network([Dense(4, 16, rng=rng), ReLU(),
+                       Dense(16, classes, rng=rng), Softmax()],
+                      input_shape=(4,))
+        for _ in range(150):
+            net.zero_gradients()
+            p = net.forward(x)
+            _, grad = cross_entropy_loss(p, labels)
+            net.backward(grad)
+            sgd_step(net, 0.5)
+        accuracy = np.mean(np.argmax(net.forward(x), axis=1) == labels)
+        assert accuracy > 0.95

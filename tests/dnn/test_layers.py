@@ -1,0 +1,199 @@
+"""Tests for the layer implementations: shapes, gradients, MAC profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import AvgPool1D, Conv1D, Dense, Flatten, ReLU, Tanh
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(8, 4, rng=rng)
+        out = layer.forward(rng.standard_normal((5, 8)))
+        assert out.shape == (5, 4)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((1, 3))
+        np.testing.assert_allclose(layer.forward(x),
+                                   x @ layer.weight.T + layer.bias)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = Dense(6, 3, rng=rng)
+        x = rng.standard_normal((2, 6))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        layer_out = layer.forward(x)
+        analytic = layer.backward(2 * layer_out)
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.standard_normal((3, 4))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        numeric = numeric_gradient(loss, layer.weight)
+        np.testing.assert_allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_shape_only_mode(self):
+        layer = Dense(1000, 1000)
+        assert not layer.materialized
+        assert layer.n_parameters == 1000 * 1000 + 1000
+        with pytest.raises(RuntimeError):
+            layer.forward(np.zeros((1, 1000)))
+
+    def test_materialize_enables_forward(self, rng):
+        layer = Dense(4, 2)
+        layer.materialize(rng)
+        assert layer.forward(np.zeros((1, 4))).shape == (1, 2)
+
+    def test_mac_profile(self):
+        profile = Dense(256, 64).mac_profile((256,))
+        assert (profile.mac_seq, profile.mac_ops) == (256, 64)
+
+    def test_rejects_wrong_input(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.standard_normal((1, 5)))
+
+
+class TestConv1D:
+    def test_forward_shape_same_padding(self, rng):
+        layer = Conv1D(2, 8, kernel_size=7, padding=3, rng=rng)
+        out = layer.forward(rng.standard_normal((3, 2, 32)))
+        assert out.shape == (3, 8, 32)
+
+    def test_forward_shape_valid(self, rng):
+        layer = Conv1D(1, 1, kernel_size=4, rng=rng)
+        out = layer.forward(rng.standard_normal((1, 1, 10)))
+        assert out.shape == (1, 1, 7)
+
+    def test_forward_matches_manual_correlation(self, rng):
+        layer = Conv1D(1, 1, kernel_size=3, rng=rng)
+        x = rng.standard_normal((1, 1, 8))
+        out = layer.forward(x)
+        manual = np.correlate(x[0, 0], layer.weight[0, 0], mode="valid")
+        np.testing.assert_allclose(out[0, 0], manual + layer.bias[0])
+
+    def test_input_gradient_numerically(self, rng):
+        layer = Conv1D(2, 3, kernel_size=3, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 6))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        analytic = layer.backward(2 * out)
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = Conv1D(1, 2, kernel_size=3, rng=rng)
+        x = rng.standard_normal((2, 1, 7))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        layer.backward(2 * out)
+        numeric = numeric_gradient(loss, layer.weight)
+        np.testing.assert_allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_mac_profile(self):
+        layer = Conv1D(2, 4, kernel_size=5, padding=2)
+        profile = layer.mac_profile((2, 100))
+        assert profile.mac_seq == 10  # K * in_ch
+        assert profile.mac_ops == 400  # out_ch * out_len
+
+    def test_kernel_too_large(self):
+        layer = Conv1D(1, 1, kernel_size=10)
+        with pytest.raises(ValueError):
+            layer.output_shape((1, 5))
+
+    def test_shape_only_mode(self):
+        layer = Conv1D(4, 8, 7)
+        assert layer.n_parameters == 4 * 8 * 7 + 8
+        with pytest.raises(RuntimeError):
+            layer.forward(np.zeros((1, 4, 10)))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_tanh_gradient_numerically(self, rng):
+        layer = Tanh()
+        x = rng.standard_normal((2, 4))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        analytic = layer.backward(2 * out)
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_no_mac_work(self):
+        assert not ReLU().mac_profile((10,)).is_compute
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+
+class TestFlattenAndPool:
+    def test_flatten_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == (2, 3, 4)
+
+    def test_flatten_output_shape(self):
+        assert Flatten().output_shape((3, 4)) == (12,)
+
+    def test_avgpool_forward(self):
+        x = np.arange(8, dtype=float).reshape(1, 1, 8)
+        out = AvgPool1D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [0.5, 2.5, 4.5, 6.5])
+
+    def test_avgpool_backward_spreads(self):
+        layer = AvgPool1D(2)
+        layer.forward(np.zeros((1, 1, 4)))
+        grad = layer.backward(np.array([[[2.0, 4.0]]]))
+        np.testing.assert_allclose(grad[0, 0], [1.0, 1.0, 2.0, 2.0])
+
+    def test_avgpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            AvgPool1D(3).forward(np.zeros((1, 1, 8)))

@@ -1,0 +1,70 @@
+"""Tests for MAC accounting, pinning the Fig. 8 worked examples."""
+
+import pytest
+
+from repro.dnn.macs import (
+    NO_MACS,
+    LayerMacs,
+    fmac_conv1d,
+    fmac_conv_example,
+    fmac_dense,
+    fmac_matmul_example,
+)
+
+
+class TestFig8Examples:
+    def test_matmul_example_matches_paper(self):
+        # Fig. 8 top: #MACop = 4, MACseq = 3.
+        profile = fmac_matmul_example()
+        assert profile.mac_ops == 4
+        assert profile.mac_seq == 3
+
+    def test_conv_example_matches_paper(self):
+        # Fig. 8 bottom: #MACop = 4, MACseq = 8.
+        profile = fmac_conv_example()
+        assert profile.mac_ops == 4
+        assert profile.mac_seq == 8
+
+
+class TestLayerMacs:
+    def test_total(self):
+        assert LayerMacs(mac_seq=3, mac_ops=4).total_macs == 12
+
+    def test_no_macs_sentinel(self):
+        assert not NO_MACS.is_compute
+        assert NO_MACS.total_macs == 0
+
+    def test_compute_flag(self):
+        assert LayerMacs(1, 1).is_compute
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LayerMacs(-1, 2)
+
+
+class TestDenseProfile:
+    def test_dims(self):
+        profile = fmac_dense(256, 128)
+        assert profile.mac_seq == 256
+        assert profile.mac_ops == 128
+        assert profile.total_macs == 256 * 128
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fmac_dense(0, 10)
+
+
+class TestConvProfile:
+    def test_dims(self):
+        profile = fmac_conv1d(in_channels=2, out_channels=1, kernel_size=4,
+                              output_length=4)
+        assert profile.mac_seq == 8
+        assert profile.mac_ops == 4
+
+    def test_total_matches_standard_count(self):
+        profile = fmac_conv1d(8, 16, 7, 1024)
+        assert profile.total_macs == 8 * 16 * 7 * 1024
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fmac_conv1d(1, 1, 0, 1)

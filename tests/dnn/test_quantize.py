@@ -1,0 +1,96 @@
+"""Tests for post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import Dense, ReLU
+from repro.dnn.network import Network
+from repro.dnn.quantize import (
+    quantization_sweep,
+    quantize_network,
+    quantize_tensor,
+)
+
+
+class TestQuantizeTensor:
+    def test_idempotent_on_grid_values(self):
+        tensor = np.array([-1.0, -0.5, 0.0, 0.5, 1.0])
+        quantized = quantize_tensor(tensor, bits=8)
+        np.testing.assert_allclose(quantize_tensor(quantized, 8),
+                                   quantized, atol=1e-12)
+
+    def test_peak_preserved(self, rng):
+        tensor = rng.standard_normal(100)
+        quantized = quantize_tensor(tensor, bits=8)
+        assert np.max(np.abs(quantized)) == pytest.approx(
+            np.max(np.abs(tensor)), rel=0.01)
+
+    def test_error_bounded_by_half_step(self, rng):
+        tensor = rng.standard_normal(1000)
+        bits = 8
+        quantized = quantize_tensor(tensor, bits)
+        step = np.max(np.abs(tensor)) / (2 ** (bits - 1) - 1)
+        assert np.max(np.abs(tensor - quantized)) <= step / 2 + 1e-12
+
+    def test_zero_tensor_untouched(self):
+        np.testing.assert_array_equal(quantize_tensor(np.zeros(5), 8),
+                                      np.zeros(5))
+
+    def test_more_bits_less_error(self, rng):
+        tensor = rng.standard_normal(500)
+        err4 = np.abs(quantize_tensor(tensor, 4) - tensor).max()
+        err12 = np.abs(quantize_tensor(tensor, 12) - tensor).max()
+        assert err12 < err4
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), 1)
+
+
+def build_factory(rng_seed=5):
+    def build():
+        rng = np.random.default_rng(rng_seed)
+        return Network([Dense(16, 32, rng=rng), ReLU(),
+                        Dense(32, 8, rng=rng)], input_shape=(16,))
+    return build
+
+
+class TestQuantizeNetwork:
+    def test_counts_quantized_layers(self):
+        net = build_factory()()
+        assert quantize_network(net, 8) == 2
+
+    def test_changes_weights(self):
+        net = build_factory()()
+        before = net.layers[0].weight.copy()
+        quantize_network(net, 3)
+        assert not np.allclose(net.layers[0].weight, before)
+
+    def test_rejects_shape_only_network(self):
+        net = Network([Dense(4, 2)], input_shape=(4,))
+        with pytest.raises(ValueError):
+            quantize_network(net, 8)
+
+
+class TestSweep:
+    def test_error_monotone_in_bits(self, rng):
+        inputs = rng.standard_normal((8, 16))
+        reports = quantization_sweep(build_factory(), inputs,
+                                     bit_widths=(4, 8, 12))
+        errors = [r.output_rmse for r in reports]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_eight_bits_is_accurate_enough(self, rng):
+        # The Fig. 9 accelerator uses an 8-bit datatype; relative output
+        # error at 8 bits should be small.
+        inputs = rng.standard_normal((16, 16))
+        reports = quantization_sweep(build_factory(), inputs,
+                                     bit_widths=(8,))
+        assert reports[0].relative_error < 0.05
+
+    def test_reference_rms_consistent(self, rng):
+        inputs = rng.standard_normal((4, 16))
+        reports = quantization_sweep(build_factory(), inputs,
+                                     bit_widths=(4, 16))
+        assert reports[0].output_rms == pytest.approx(
+            reports[1].output_rms)

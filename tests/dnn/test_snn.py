@@ -1,0 +1,146 @@
+"""Tests for the spiking-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.accel.tech import TECH_45NM
+from repro.dnn.snn import (
+    LIFLayer,
+    SpikingNetwork,
+    build_speech_snn,
+)
+
+
+class TestLIFLayer:
+    def test_integrates_and_fires(self, rng):
+        layer = LIFLayer(4, 1, leak=1.0 - 1e-9, threshold=1.0)
+        layer.weight = np.full((1, 4), 0.3)
+        layer.reset_state(1)
+        spikes = np.ones((1, 4), dtype=np.int8)
+        out1, _ = layer.step(spikes)  # v = 1.2 >= 1 -> fires
+        assert out1[0, 0] == 1
+
+    def test_subthreshold_accumulates(self):
+        layer = LIFLayer(1, 1, leak=1.0 - 1e-9, threshold=1.0)
+        layer.weight = np.array([[0.4]])
+        layer.reset_state(1)
+        spike = np.ones((1, 1), dtype=np.int8)
+        fired = [layer.step(spike)[0][0, 0] for _ in range(3)]
+        assert fired == [0, 0, 1]  # 0.4, 0.8, 1.2
+
+    def test_reset_after_fire(self):
+        layer = LIFLayer(1, 1, leak=1.0 - 1e-9, threshold=1.0)
+        layer.weight = np.array([[1.5]])
+        layer.reset_state(1)
+        spike = np.ones((1, 1), dtype=np.int8)
+        layer.step(spike)
+        assert layer._membrane[0, 0] == 0.0
+
+    def test_leak_decays_potential(self):
+        layer = LIFLayer(1, 1, leak=0.5, threshold=10.0)
+        layer.weight = np.array([[1.0]])
+        layer.reset_state(1)
+        spike = np.ones((1, 1), dtype=np.int8)
+        silence = np.zeros((1, 1), dtype=np.int8)
+        layer.step(spike)
+        layer.step(silence)
+        assert layer._membrane[0, 0] == pytest.approx(0.5)
+
+    def test_sop_counting(self, rng):
+        layer = LIFLayer(8, 16, rng=rng)
+        layer.reset_state(1)
+        spikes = np.zeros((1, 8), dtype=np.int8)
+        spikes[0, :3] = 1
+        _, sops = layer.step(spikes)
+        assert sops == 3 * 16
+
+    def test_shape_only_raises_on_step(self):
+        layer = LIFLayer(4, 4)
+        with pytest.raises(RuntimeError):
+            layer.step(np.zeros((1, 4), dtype=np.int8))
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            LIFLayer(0, 4)
+        with pytest.raises(ValueError):
+            LIFLayer(4, 4, leak=1.0)
+        with pytest.raises(ValueError):
+            LIFLayer(4, 4, threshold=0.0)
+
+
+class TestSpikingNetwork:
+    def test_run_shapes_and_rates(self, rng):
+        net = build_speech_snn(64, rng=rng)
+        rates = rng.uniform(0.0, 0.5, (3, 64))
+        result = net.run(rates, timesteps=50, rng=rng)
+        assert result.output_rates.shape == (3, 40)
+        assert np.all((result.output_rates >= 0)
+                      & (result.output_rates <= 1))
+
+    def test_activity_drives_sops(self, rng):
+        net = build_speech_snn(32, rng=rng)
+        quiet = net.run(np.full((1, 32), 0.02), 50, rng).total_sops
+        busy = net.run(np.full((1, 32), 0.8), 50, rng).total_sops
+        assert busy > 3 * quiet
+
+    def test_silence_costs_no_sops_in_layer_one(self, rng):
+        net = SpikingNetwork([LIFLayer(8, 8, rng=rng)])
+        result = net.run(np.zeros((1, 8)), 20, rng)
+        assert result.total_sops == 0
+
+    def test_expected_sops_tracks_simulation(self, rng):
+        net = SpikingNetwork([LIFLayer(64, 64, rng=rng)])
+        rate = 0.3
+        result = net.run(np.full((1, 64), rate), 200, rng)
+        expected = net.expected_sops(rate, 200)
+        assert result.total_sops == pytest.approx(expected, rel=0.1)
+
+    def test_synapse_and_neuron_counts(self, rng):
+        net = SpikingNetwork([LIFLayer(8, 4, rng=rng),
+                              LIFLayer(4, 2, rng=rng)])
+        assert net.n_synapses == 8 * 4 + 4 * 2
+        assert net.n_neurons == 6
+
+    def test_layer_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SpikingNetwork([LIFLayer(8, 4, rng=rng),
+                            LIFLayer(5, 2, rng=rng)])
+
+    def test_rejects_bad_rates(self, rng):
+        net = build_speech_snn(16, rng=rng)
+        with pytest.raises(ValueError):
+            net.run(np.full((1, 16), 1.5), 10, rng)
+        with pytest.raises(ValueError):
+            net.run(np.zeros((1, 16)), 0, rng)
+
+
+class TestSnnEnergy:
+    def test_sparse_snn_cheaper_than_mlp_lower_bound(self, rng):
+        # The Hueber et al. argument: at sparse activity, SNN inference
+        # energy undercuts an equivalent dense MLP's MAC energy.
+        from repro.dnn.models import build_speech_mlp
+        n = 128
+        snn = build_speech_snn(n, rng=rng)
+        mlp = build_speech_mlp(n)
+        timesteps = 16
+        sops = snn.expected_sops(mean_input_rate=0.05,
+                                 timesteps=timesteps)
+        snn_energy = snn.energy_per_inference_j(sops, timesteps)
+        mlp_energy = mlp.total_macs * TECH_45NM.energy_per_mac_j
+        assert snn_energy < mlp_energy
+
+    def test_power_scales_with_inference_rate(self, rng):
+        snn = build_speech_snn(32, rng=rng)
+        sops = snn.expected_sops(0.1, 16)
+        assert snn.power_w(sops, 16, 200.0) == pytest.approx(
+            2 * snn.power_w(sops, 16, 100.0))
+
+    def test_power_rejects_bad_rate(self, rng):
+        snn = build_speech_snn(32, rng=rng)
+        with pytest.raises(ValueError):
+            snn.power_w(100.0, 16, 0.0)
+
+    def test_expected_sops_validates_rate(self, rng):
+        snn = build_speech_snn(32, rng=rng)
+        with pytest.raises(ValueError):
+            snn.expected_sops(1.5, 16)

@@ -1,0 +1,76 @@
+"""Tests for the SGD training loop."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import Dense, Tanh
+from repro.dnn.network import Network
+from repro.dnn.train import mse_loss, sgd_step, sgd_train
+
+
+class TestMseLoss:
+    def test_zero_for_perfect(self):
+        x = np.ones((2, 3))
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(x))
+
+    def test_known_value(self):
+        loss, _ = mse_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert loss == pytest.approx(4.0)
+
+    def test_gradient_direction(self):
+        _, grad = mse_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert grad[0, 0] > 0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((1, 2)), np.zeros((2, 1)))
+
+
+class TestSgd:
+    def test_learns_linear_map(self, rng):
+        net = Network([Dense(4, 2, rng=rng)], input_shape=(4,))
+        true_w = rng.standard_normal((2, 4))
+        x = rng.standard_normal((256, 4))
+        y = x @ true_w.T
+        history = sgd_train(net, x, y, rng, epochs=60, learning_rate=0.1)
+        assert history[-1] < history[0] * 0.05
+
+    def test_learns_nonlinear_map(self, rng):
+        net = Network([Dense(3, 16, rng=rng), Tanh(),
+                       Dense(16, 1, rng=rng)], input_shape=(3,))
+        x = rng.uniform(-1, 1, (512, 3))
+        y = np.tanh(x.sum(axis=1, keepdims=True))
+        history = sgd_train(net, x, y, rng, epochs=40, learning_rate=0.2)
+        assert history[-1] < history[0] * 0.2
+
+    def test_history_length(self, rng):
+        net = Network([Dense(2, 1, rng=rng)], input_shape=(2,))
+        history = sgd_train(net, np.zeros((8, 2)), np.zeros((8, 1)), rng,
+                            epochs=7)
+        assert len(history) == 7
+
+    def test_rejects_mismatched_data(self, rng):
+        net = Network([Dense(2, 1, rng=rng)], input_shape=(2,))
+        with pytest.raises(ValueError):
+            sgd_train(net, np.zeros((8, 2)), np.zeros((7, 1)), rng)
+
+    def test_rejects_empty_data(self, rng):
+        net = Network([Dense(2, 1, rng=rng)], input_shape=(2,))
+        with pytest.raises(ValueError):
+            sgd_train(net, np.zeros((0, 2)), np.zeros((0, 1)), rng)
+
+    def test_sgd_step_moves_parameters(self, rng):
+        net = Network([Dense(2, 1, rng=rng)], input_shape=(2,))
+        dense = net.layers[0]
+        out = net.forward(np.ones((4, 2)))
+        net.backward(np.ones_like(out))
+        before = dense.weight.copy()
+        sgd_step(net, 0.1)
+        assert not np.allclose(dense.weight, before)
+
+    def test_sgd_step_rejects_bad_rate(self, rng):
+        net = Network([Dense(2, 1, rng=rng)], input_shape=(2,))
+        with pytest.raises(ValueError):
+            sgd_step(net, 0.0)

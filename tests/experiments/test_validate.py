@@ -1,0 +1,67 @@
+"""Tests for the programmatic paper-claims validator."""
+
+import pytest
+
+from repro.experiments.validate import (
+    CLAIMS,
+    Claim,
+    ClaimResult,
+    render_results,
+    validate_all,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return validate_all()
+
+
+class TestClaimsCatalogue:
+    def test_covers_every_evaluated_figure(self):
+        artifacts = {claim.artifact for claim in CLAIMS}
+        assert artifacts == {"fig4", "fig5", "fig6", "fig7", "fig9",
+                             "fig10", "fig11", "fig12"}
+
+    def test_at_least_two_claims_per_headline_figure(self):
+        for figure in ("fig5", "fig7", "fig9", "fig10", "fig11", "fig12"):
+            count = sum(1 for c in CLAIMS if c.artifact == figure)
+            assert count >= 2, figure
+
+
+class TestValidation:
+    def test_all_claims_reproduce(self, results):
+        failing = [r.claim.statement for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_one_result_per_claim(self, results):
+        assert len(results) == len(CLAIMS)
+
+    def test_measured_values_attached(self, results):
+        for result in results:
+            assert result.measured is not None
+
+    def test_render_contains_verdicts(self, results):
+        text = render_results(results)
+        assert "PASS" in text
+        assert f"{len(CLAIMS)}/{len(CLAIMS)} claims reproduced" in text
+
+    def test_render_marks_failures(self):
+        fake = ClaimResult(
+            claim=Claim("fig4", "impossible", lambda s: False,
+                        lambda s: 0),
+            passed=False, measured=0)
+        assert "FAIL" in render_results([fake])
+
+    def test_custom_claim_subset(self):
+        subset = tuple(c for c in CLAIMS if c.artifact == "fig9")
+        results = validate_all(subset)
+        assert len(results) == len(subset)
+        assert all(r.passed for r in results)
+
+
+class TestCliValidate:
+    def test_exit_code_zero_on_full_pass(self, capsys):
+        from repro.cli import main
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out

@@ -1,0 +1,148 @@
+"""Integration tests chaining the extension substrates end to end."""
+
+import numpy as np
+import pytest
+
+from repro.compress import NeuralCompressor
+from repro.core.closed_loop import evaluate_closed_loop
+from repro.core.event_stream import EventStreamConfig, evaluate_event_stream
+from repro.core.explorer import explore
+from repro.core.comm_centric import DesignHypothesis, evaluate_comm_centric
+from repro.core.comp_centric import Workload, evaluate_comp_centric
+from repro.core.qam_design import evaluate_qam_design
+from repro.decoders.spikesort import SpikeDetector
+from repro.dnn.models import build_speech_mlp
+from repro.dnn.quantize import quantize_network
+from repro.dnn.snn import build_speech_snn
+from repro.link.packetizer import Packetizer
+from repro.ni.adc import quantize
+from repro.ni.spad import SpadImager
+from repro.signals.lfp import synthesize_ecog
+from repro.signals.spikes import (
+    biphasic_spike_template,
+    poisson_spike_train,
+    render_spike_waveform,
+)
+
+
+class TestCompressedStreamPipeline:
+    def test_compress_then_packetize_round_trip(self, rng):
+        analog = 0.2 * synthesize_ecog(4, 0.5, 2000.0, rng, noise_rms=0.05)
+        codes = quantize(analog, bits=10)
+        codec = NeuralCompressor(sample_bits=10)
+        packetizer = Packetizer(payload_bytes=64, sample_bits=16)
+
+        for channel in codes:
+            bits, k = codec.encode_channel(channel)
+            # Pack the bitstring into 16-bit words for framing.
+            padded = bits + "0" * (-len(bits) % 16)
+            words = np.array([int(padded[i:i + 16], 2) - (1 << 15)
+                              for i in range(0, len(padded), 16)],
+                             dtype=np.int32)
+            recovered_words = packetizer.depacketize(
+                packetizer.packetize(words))
+            recovered_bits = "".join(
+                format(int(w) + (1 << 15), "016b")
+                for w in recovered_words)[:len(bits)]
+            assert recovered_bits == bits
+            recovered = codec.decode_channel(recovered_bits, k,
+                                             channel.size)
+            np.testing.assert_array_equal(recovered, channel)
+
+    def test_measured_ratio_feeds_explorer(self, rng, bisc):
+        analog = 0.2 * synthesize_ecog(8, 1.0, 2000.0, rng, noise_rms=0.05)
+        codes = quantize(analog, bits=10)
+        ratio = NeuralCompressor(sample_bits=10).analyze(codes).ratio
+        report = explore(bisc, target_channels=2048,
+                         compression_ratio=ratio)
+        compressed = next(o for o in report.outcomes
+                          if "compressed" in o.strategy)
+        raw = next(o for o in report.outcomes
+                   if o.strategy == "raw OOK (high margin)")
+        assert compressed.power_ratio_at_target < \
+            raw.power_ratio_at_target
+
+
+class TestEventPipeline:
+    def test_detected_rate_drives_event_model(self, rng, bisc):
+        # Measure the spike rate with the detector substrate, then feed
+        # it into the event-stream analysis.
+        fs, duration = 8e3, 4.0
+        n = int(fs * duration)
+        template = biphasic_spike_template(fs, amplitude=8.0)
+        true_rate = 15.0
+        spikes = np.flatnonzero(poisson_spike_train(
+            true_rate, duration, fs, rng, refractory_s=3e-3))
+        signal = rng.standard_normal(n) + render_spike_waveform(
+            spikes, template, n)
+        detected = SpikeDetector().detect(signal)
+        measured_rate = len(detected) / duration
+        assert measured_rate == pytest.approx(true_rate, rel=0.4)
+
+        config = EventStreamConfig(spike_rate_hz=measured_rate)
+        point = evaluate_event_stream(bisc, 1024, config)
+        assert point.data_reduction > 50
+
+
+class TestSpadPipeline:
+    def test_spad_frames_compress_and_stream(self, rng):
+        spad = SpadImager(n_pixels=256, counter_bits=8,
+                          frame_rate_hz=1e3)
+        frames = np.stack([spad.capture_frame(rng) for _ in range(50)],
+                          axis=1)  # (pixels, frames)
+        codec = NeuralCompressor(sample_bits=spad.counter_bits)
+        result = codec.analyze(frames)
+        # Poisson counts around a stable mean are compressible.
+        assert result.ratio > 1.1
+
+    def test_spad_throughput_matches_gilhotra_scale(self):
+        # The Gilhotra design: 49152 pixels at a 1024-equivalent config.
+        spad = SpadImager(n_pixels=49152, counter_bits=8,
+                          frame_rate_hz=1e3)
+        assert 100e6 < spad.throughput_bps < 1e9
+
+
+class TestQuantizedClosedLoop:
+    def test_quantized_decoder_in_loop(self, rng, bisc):
+        net = build_speech_mlp(128, rng=rng)
+        quantize_network(net, bits=8)
+        point = evaluate_closed_loop(bisc, net, 128)
+        assert point.feasible
+        # The quantized network still runs.
+        x = rng.standard_normal((1,) + net.input_shape)
+        assert net.forward(x).shape == (1, 40)
+
+    def test_snn_energy_beats_loop_mlp(self, rng, bisc):
+        # An SNN decoder at sparse activity undercuts the MLP the loop
+        # would otherwise run.
+        from repro.accel.tech import TECH_45NM
+        mlp = build_speech_mlp(256)
+        snn = build_speech_snn(256, rng=rng)
+        timesteps = 16
+        sops = snn.expected_sops(0.05, timesteps)
+        snn_energy = snn.energy_per_inference_j(sops, timesteps)
+        mlp_energy = mlp.total_macs * TECH_45NM.energy_per_mac_j
+        assert snn_energy < mlp_energy
+
+
+class TestExplorerConsistency:
+    def test_explorer_matches_individual_evaluators(self, bisc):
+        report = explore(bisc, target_channels=2048)
+        by_name = {o.strategy: o for o in report.outcomes}
+
+        naive = evaluate_comm_centric(bisc, 2048, DesignHypothesis.NAIVE)
+        assert by_name["raw OOK (naive)"].power_ratio_at_target == \
+            pytest.approx(naive.power_ratio)
+
+        margin = evaluate_comm_centric(bisc, 2048,
+                                       DesignHypothesis.HIGH_MARGIN)
+        assert by_name["raw OOK (high margin)"].power_ratio_at_target == \
+            pytest.approx(margin.power_ratio)
+
+        qam = evaluate_qam_design(bisc, 2048)
+        assert by_name["QAM @ 20%"].power_ratio_at_target == \
+            pytest.approx(qam.min_efficiency / 0.20)
+
+        mlp = evaluate_comp_centric(bisc, Workload.MLP, 2048)
+        assert by_name["on-implant mlp"].power_ratio_at_target == \
+            pytest.approx(mlp.power_ratio)

@@ -1,0 +1,111 @@
+"""Tests for BER theory and Eb/N0 inversion."""
+
+import math
+
+import pytest
+
+from repro.link.ber import (
+    ber_bpsk,
+    ber_mqam,
+    ber_ook,
+    q_function,
+    required_ebn0,
+    shannon_ebn0_limit_db,
+)
+
+
+class TestQFunction:
+    def test_at_zero(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # Q(1.2816) ~ 0.1.
+        assert q_function(1.2816) == pytest.approx(0.1, abs=1e-3)
+
+    def test_symmetry(self):
+        assert q_function(-1.0) + q_function(1.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        assert q_function(1.0) > q_function(2.0) > q_function(3.0)
+
+
+class TestBerCurves:
+    def test_bpsk_textbook_point(self):
+        # Eb/N0 = 9.6 dB gives BER ~ 1e-5 for BPSK.
+        assert ber_bpsk(10 ** 0.96) == pytest.approx(1e-5, rel=0.3)
+
+    def test_ook_pays_3db_vs_bpsk(self):
+        ebn0 = 10.0
+        assert ber_ook(2 * ebn0) == pytest.approx(ber_bpsk(ebn0), rel=1e-9)
+
+    def test_mqam_order_1_is_bpsk(self):
+        assert ber_mqam(10.0, 1) == pytest.approx(ber_bpsk(10.0))
+
+    def test_higher_order_needs_more_energy(self):
+        ebn0 = 20.0
+        assert ber_mqam(ebn0, 2) < ber_mqam(ebn0, 4) < ber_mqam(ebn0, 6)
+
+    def test_ber_monotone_in_ebn0(self):
+        assert ber_mqam(5.0, 4) > ber_mqam(50.0, 4) > ber_mqam(500.0, 4)
+
+    def test_ber_capped_at_half(self):
+        assert ber_mqam(1e-5, 6) <= 0.5
+
+    def test_rejects_non_positive_ebn0(self):
+        with pytest.raises(ValueError):
+            ber_bpsk(0.0)
+        with pytest.raises(ValueError):
+            ber_mqam(-1.0, 2)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            ber_mqam(10.0, 0)
+
+
+class TestRequiredEbn0:
+    def test_inversion_round_trip(self):
+        for bits in (1, 2, 3, 4, 6):
+            ebn0 = required_ebn0(1e-6, bits)
+            assert ber_mqam(ebn0, bits) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_bpsk_at_1e6_is_about_10_5_db(self):
+        ebn0_db = 10 * math.log10(required_ebn0(1e-6, scheme="bpsk"))
+        assert ebn0_db == pytest.approx(10.5, abs=0.2)
+
+    def test_qpsk_matches_bpsk_per_bit(self):
+        assert required_ebn0(1e-6, 2) == pytest.approx(
+            required_ebn0(1e-6, 1), rel=0.02)
+
+    def test_monotone_in_order_beyond_qpsk(self):
+        values = [required_ebn0(1e-6, b) for b in range(2, 8)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_stricter_ber_needs_more_energy(self):
+        assert required_ebn0(1e-9, 4) > required_ebn0(1e-3, 4)
+
+    def test_ook_needs_double_bpsk(self):
+        assert required_ebn0(1e-6, scheme="ook") == pytest.approx(
+            2 * required_ebn0(1e-6, scheme="bpsk"), rel=1e-6)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            required_ebn0(0.0)
+        with pytest.raises(ValueError):
+            required_ebn0(0.6)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            required_ebn0(1e-6, scheme="fsk")
+
+
+class TestShannonLimit:
+    def test_low_efficiency_approaches_minus_1_59_db(self):
+        assert shannon_ebn0_limit_db(0.001) == pytest.approx(-1.59, abs=0.01)
+
+    def test_grows_with_spectral_efficiency(self):
+        assert (shannon_ebn0_limit_db(1.0) < shannon_ebn0_limit_db(4.0)
+                < shannon_ebn0_limit_db(8.0))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            shannon_ebn0_limit_db(0.0)

@@ -1,0 +1,51 @@
+"""Monte-Carlo validation of the closed-form BER curves.
+
+These tests are the independent check that the analytical curves the
+MINDFUL power analysis relies on are implemented correctly: simulated BER
+at moderate Eb/N0 must track theory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.link.channel import AwgnChannel, measure_ber
+from repro.link.modulation import BPSK, MQAM, OOK, QPSK
+
+
+class TestAwgnChannel:
+    def test_noise_variance(self, rng):
+        channel = AwgnChannel(ebn0_linear=4.0, rng=rng)
+        symbols = np.zeros(200000, dtype=complex)
+        received = channel.transmit(symbols)
+        # Per complex sample variance = N0 = 1/ebn0.
+        assert np.var(received.real) + np.var(received.imag) == \
+            pytest.approx(0.25, rel=0.05)
+
+    def test_rejects_bad_ebn0(self, rng):
+        with pytest.raises(ValueError):
+            AwgnChannel(ebn0_linear=0.0, rng=rng)
+
+
+class TestMeasuredVsTheory:
+    @pytest.mark.parametrize("scheme,ebn0_db", [
+        (BPSK(), 4.0),
+        (OOK(), 7.0),
+        (QPSK(), 4.0),
+        (MQAM(4), 8.0),
+    ], ids=["bpsk", "ook", "qpsk", "16qam"])
+    def test_simulation_tracks_theory(self, scheme, ebn0_db, rng):
+        measured = measure_ber(scheme, ebn0_db, n_bits=400_000, rng=rng)
+        theory = scheme.theoretical_ber(10 ** (ebn0_db / 10.0))
+        assert measured == pytest.approx(theory, rel=0.25)
+
+    def test_ber_improves_with_ebn0(self, rng):
+        low = measure_ber(BPSK(), 2.0, 100_000, rng)
+        high = measure_ber(BPSK(), 8.0, 100_000, rng)
+        assert high < low
+
+    def test_high_snr_is_error_free_at_this_scale(self, rng):
+        assert measure_ber(BPSK(), 14.0, 50_000, rng) == 0.0
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            measure_ber(MQAM(4), 5.0, 3, rng)

@@ -1,0 +1,107 @@
+"""Tests for CRC framing and packet round trips."""
+
+import numpy as np
+import pytest
+
+from repro.link.packetizer import Packet, Packetizer, crc16
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_detects_single_bit_flip(self):
+        data = b"neural data frame"
+        corrupted = bytes([data[0] ^ 1]) + data[1:]
+        assert crc16(data) != crc16(corrupted)
+
+
+class TestPacket:
+    def test_valid_round_trip(self):
+        payload = b"\x01\x02\x03"
+        header = (7).to_bytes(2, "big")
+        packet = Packet(sequence=7, payload=payload,
+                        checksum=crc16(header + payload))
+        assert packet.valid
+        assert Packet.from_bytes(packet.to_bytes()) == packet
+
+    def test_corruption_detected(self):
+        payload = b"\x01\x02\x03"
+        packet = Packet(sequence=7, payload=payload, checksum=0)
+        assert not packet.valid
+
+    def test_from_bytes_rejects_short(self):
+        with pytest.raises(ValueError):
+            Packet.from_bytes(b"\x00")
+
+
+class TestPacketizer:
+    def test_round_trip(self, rng):
+        packetizer = Packetizer(payload_bytes=64, sample_bits=10)
+        codes = rng.integers(-512, 512, size=1000).astype(np.int32)
+        packets = packetizer.packetize(codes)
+        recovered = packetizer.depacketize(packets)
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_negative_codes_survive(self):
+        packetizer = Packetizer(payload_bytes=16, sample_bits=10)
+        codes = np.array([-512, -1, 0, 1, 511], dtype=np.int32)
+        recovered = packetizer.depacketize(packetizer.packetize(codes))
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_sequence_numbers_increment(self, rng):
+        packetizer = Packetizer(payload_bytes=8, sample_bits=8)
+        packets = packetizer.packetize(rng.integers(0, 100, 64))
+        sequences = [p.sequence for p in packets]
+        assert sequences == list(range(len(packets)))
+
+    def test_sequence_wraps(self):
+        packetizer = Packetizer(payload_bytes=8, sample_bits=8)
+        packetizer._sequence = 0xFFFF
+        packets = packetizer.packetize(np.arange(16))
+        assert packets[0].sequence == 0xFFFF
+        assert packets[1].sequence == 0
+
+    def test_gap_detected(self, rng):
+        packetizer = Packetizer(payload_bytes=8, sample_bits=8)
+        packets = packetizer.packetize(rng.integers(0, 100, 64))
+        with pytest.raises(ValueError, match="sequence gap"):
+            packetizer.depacketize([packets[0], packets[2]])
+
+    def test_corruption_detected(self, rng):
+        packetizer = Packetizer(payload_bytes=8, sample_bits=8)
+        packets = packetizer.packetize(rng.integers(0, 100, 32))
+        bad = Packet(sequence=packets[0].sequence,
+                     payload=packets[0].payload, checksum=0)
+        with pytest.raises(ValueError, match="CRC"):
+            packetizer.depacketize([bad] + packets[1:])
+
+    def test_overhead_ratio(self):
+        assert Packetizer(payload_bytes=256).overhead_ratio == \
+            pytest.approx(4 / 256)
+
+    def test_multidimensional_input_flattened(self, rng):
+        packetizer = Packetizer(payload_bytes=32, sample_bits=10)
+        codes = rng.integers(-100, 100, size=(4, 25)).astype(np.int32)
+        recovered = packetizer.depacketize(packetizer.packetize(codes))
+        np.testing.assert_array_equal(recovered, codes.reshape(-1))
+
+    def test_empty_input(self):
+        packetizer = Packetizer()
+        assert packetizer.depacketize([]).size == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Packetizer(payload_bytes=0)
+        with pytest.raises(ValueError):
+            Packetizer(sample_bits=0)
+
+    def test_16_bit_samples(self):
+        packetizer = Packetizer(payload_bytes=16, sample_bits=16)
+        codes = np.array([-32768, 32767, 0], dtype=np.int32)
+        recovered = packetizer.depacketize(packetizer.packetize(codes))
+        np.testing.assert_array_equal(recovered, codes)

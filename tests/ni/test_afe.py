@@ -1,0 +1,73 @@
+"""Tests for the NEF-based analog front-end power model."""
+
+import pytest
+
+from repro.ni.afe import AnalogFrontEnd, afe_channel_power, nef_input_current
+
+
+class TestNefCurrent:
+    def test_typical_magnitude(self):
+        # NEF 3, 5 uVrms, 5 kHz bandwidth -> microamp-scale current.
+        current = nef_input_current(3.0, 5e-6, 5e3)
+        assert 1e-8 < current < 1e-4
+
+    def test_quadratic_in_nef(self):
+        low = nef_input_current(2.0, 5e-6, 5e3)
+        high = nef_input_current(4.0, 5e-6, 5e3)
+        assert high == pytest.approx(4.0 * low)
+
+    def test_linear_in_bandwidth(self):
+        one = nef_input_current(3.0, 5e-6, 1e3)
+        ten = nef_input_current(3.0, 5e-6, 10e3)
+        assert ten == pytest.approx(10.0 * one)
+
+    def test_inverse_square_in_noise(self):
+        strict = nef_input_current(3.0, 2.5e-6, 5e3)
+        relaxed = nef_input_current(3.0, 5e-6, 5e3)
+        assert strict == pytest.approx(4.0 * relaxed)
+
+    def test_rejects_sub_unity_nef(self):
+        with pytest.raises(ValueError):
+            nef_input_current(0.5, 5e-6, 5e3)
+
+    def test_rejects_non_positive_noise(self):
+        with pytest.raises(ValueError):
+            nef_input_current(3.0, 0.0, 5e3)
+
+
+class TestChannelPower:
+    def test_adc_overhead_adds(self):
+        bare = afe_channel_power(3.0, 5e-6, 5e3, adc_overhead=0.0)
+        loaded = afe_channel_power(3.0, 5e-6, 5e3, adc_overhead=0.5)
+        assert loaded == pytest.approx(1.5 * bare)
+
+    def test_supply_scaling(self):
+        v1 = afe_channel_power(3.0, 5e-6, 5e3, supply_v=1.0)
+        v2 = afe_channel_power(3.0, 5e-6, 5e3, supply_v=2.0)
+        assert v2 == pytest.approx(2.0 * v1)
+
+    def test_rejects_bad_supply(self):
+        with pytest.raises(ValueError):
+            afe_channel_power(3.0, 5e-6, 5e3, supply_v=0.0)
+
+
+class TestAnalogFrontEnd:
+    def test_total_power_linear_in_channels(self):
+        afe = AnalogFrontEnd()
+        assert afe.total_power_w(2048) == pytest.approx(
+            2.0 * afe.total_power_w(1024))
+
+    def test_channel_power_is_microwatt_scale(self):
+        # Published AFEs burn ~1-20 uW/channel; the model should agree.
+        afe = AnalogFrontEnd()
+        assert 1e-7 < afe.channel_power_w < 1e-4
+
+    def test_with_noise_target(self):
+        afe = AnalogFrontEnd(input_noise_vrms=5e-6)
+        strict = afe.with_noise_target(2.5e-6)
+        assert strict.channel_power_w == pytest.approx(
+            4.0 * afe.channel_power_w)
+
+    def test_rejects_non_positive_channels(self):
+        with pytest.raises(ValueError):
+            AnalogFrontEnd().total_power_w(0)

@@ -1,0 +1,76 @@
+"""Tests for the NeuralInterface facade and Eq. 6 throughput."""
+
+import numpy as np
+import pytest
+
+from repro.ni.adc import AdcModel
+from repro.ni.geometry import GridArray
+from repro.ni.interface import NeuralInterface, sensing_throughput
+
+
+class TestSensingThroughput:
+    def test_paper_example(self):
+        # Section 5.1: n=1024, d=10, f=8 kHz -> ~82 Mbps.
+        assert sensing_throughput(1024, 10, 8e3) == pytest.approx(81.92e6)
+
+    def test_linear_in_channels(self):
+        assert sensing_throughput(2048, 10, 8e3) == pytest.approx(
+            2 * sensing_throughput(1024, 10, 8e3))
+
+    def test_linear_in_bits(self):
+        assert sensing_throughput(1024, 16, 8e3) == pytest.approx(
+            1.6 * sensing_throughput(1024, 10, 8e3))
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            sensing_throughput(0, 10, 8e3)
+        with pytest.raises(ValueError):
+            sensing_throughput(10, 0, 8e3)
+        with pytest.raises(ValueError):
+            sensing_throughput(10, 10, 0.0)
+
+
+def _make_interface(rows: int = 4, cols: int = 4) -> NeuralInterface:
+    return NeuralInterface(
+        geometry=GridArray(rows=rows, cols=cols, pitch_m=20e-6),
+        adc=AdcModel(bits=10, sampling_rate_hz=8e3))
+
+
+class TestNeuralInterface:
+    def test_channel_count_from_geometry(self):
+        assert _make_interface(8, 8).n_channels == 64
+
+    def test_throughput_matches_eq6(self):
+        ni = _make_interface(8, 8)
+        assert ni.throughput_bps == pytest.approx(64 * 10 * 8e3)
+
+    def test_acquire_digitizes(self, rng):
+        ni = _make_interface()
+        analog = rng.uniform(-1, 1, size=(16, 50))
+        codes = ni.acquire(analog)
+        assert codes.dtype == np.int32
+        assert codes.shape == (16, 50)
+
+    def test_acquire_rejects_wrong_channels(self, rng):
+        ni = _make_interface()
+        with pytest.raises(ValueError):
+            ni.acquire(rng.uniform(-1, 1, size=(5, 50)))
+
+    def test_acquire_rejects_wrong_rank(self, rng):
+        ni = _make_interface()
+        with pytest.raises(ValueError):
+            ni.acquire(rng.uniform(-1, 1, size=16))
+
+    def test_frame_bits(self):
+        ni = _make_interface()
+        assert ni.frame_bits(100) == 16 * 100 * 10
+
+    def test_frame_bits_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            _make_interface().frame_bits(0)
+
+    def test_sensing_power_scales_with_channels(self):
+        small = _make_interface(2, 2)
+        large = _make_interface(4, 4)
+        assert large.sensing_power_w == pytest.approx(
+            4 * small.sensing_power_w)

@@ -1,0 +1,96 @@
+"""Tests for the SPAD neural-imager model."""
+
+import numpy as np
+import pytest
+
+from repro.ni.spad import SpadImager
+
+
+def imager(**kwargs) -> SpadImager:
+    defaults = dict(n_pixels=1024)
+    defaults.update(kwargs)
+    return SpadImager(**defaults)
+
+
+class TestStatistics:
+    def test_mean_counts(self):
+        spad = imager(frame_rate_hz=1e3, signal_rate_hz=5e4,
+                      dark_rate_hz=2e3)
+        assert spad.mean_signal_counts == pytest.approx(50.0)
+        assert spad.mean_dark_counts == pytest.approx(2.0)
+
+    def test_shot_noise_snr(self):
+        spad = imager(frame_rate_hz=1e3, signal_rate_hz=5e4,
+                      dark_rate_hz=2e3)
+        assert spad.shot_noise_snr == pytest.approx(50 / np.sqrt(52))
+
+    def test_snr_improves_with_longer_frames(self):
+        fast = imager(frame_rate_hz=8e3)
+        slow = fast.with_frame_rate(1e3)
+        assert slow.shot_noise_snr > fast.shot_noise_snr
+
+    def test_zero_light_zero_snr(self):
+        dark = imager(signal_rate_hz=0.0, dark_rate_hz=0.0)
+        assert dark.shot_noise_snr == 0.0
+
+    def test_capture_frame_poisson_mean(self, rng):
+        spad = imager(n_pixels=4096, counter_bits=12)
+        counts = spad.capture_frame(rng)
+        expected = spad.mean_signal_counts + spad.mean_dark_counts
+        assert counts.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_capture_respects_activity_map(self, rng):
+        spad = imager(n_pixels=2, counter_bits=12, frame_rate_hz=100.0)
+        activity = np.array([0.0, 2.0])
+        counts = np.array([spad.capture_frame(rng, activity)
+                           for _ in range(200)])
+        assert counts[:, 1].mean() > 5 * max(1.0, counts[:, 0].mean())
+
+    def test_counter_saturation(self, rng):
+        spad = imager(counter_bits=4, frame_rate_hz=100.0)  # mean >> 15
+        counts = spad.capture_frame(rng)
+        assert counts.max() <= 15
+        assert spad.saturation_probability > 0.99
+
+    def test_wide_counter_rarely_saturates(self):
+        spad = imager(counter_bits=12, frame_rate_hz=1e3)
+        assert spad.saturation_probability < 1e-6
+
+
+class TestThroughputAndPower:
+    def test_throughput_formula(self):
+        spad = imager(n_pixels=49152, counter_bits=8, frame_rate_hz=1e3)
+        assert spad.throughput_bps == pytest.approx(49152 * 8 * 1e3)
+
+    def test_reduced_frame_rate_reduces_throughput(self):
+        # The paper's configurable-sampling trade-off for 49k-pixel NIs.
+        spad = imager(n_pixels=49152, frame_rate_hz=8e3)
+        slow = spad.with_frame_rate(1e3)
+        assert slow.throughput_bps == pytest.approx(
+            spad.throughput_bps / 8)
+
+    def test_pixel_power_nanowatt_regime(self):
+        # Published SPAD arrays report ~hundreds of nW/pixel.
+        power = imager().pixel_power_w()
+        assert 1e-9 < power < 1e-6
+
+    def test_array_power_linear(self):
+        small = imager(n_pixels=1024)
+        large = imager(n_pixels=4096)
+        assert large.sensing_power_w() == pytest.approx(
+            4 * small.sensing_power_w())
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            imager(n_pixels=0)
+        with pytest.raises(ValueError):
+            imager(counter_bits=0)
+        with pytest.raises(ValueError):
+            imager(signal_rate_hz=-1.0)
+
+    def test_activity_validation(self, rng):
+        spad = imager(n_pixels=4)
+        with pytest.raises(ValueError):
+            spad.capture_frame(rng, np.ones(3))
+        with pytest.raises(ValueError):
+            spad.capture_frame(rng, -np.ones(4))

@@ -1,0 +1,91 @@
+"""Hypothesis property tests over the core scaling framework."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comm_centric import (
+    DesignHypothesis,
+    budget_crossing_channels,
+    evaluate_comm_centric,
+)
+from repro.core.qam_design import evaluate_qam_design
+from repro.core.scaling import scale_to_standard
+from repro.core.socs import wireless_socs
+
+SCALED = [scale_to_standard(record) for record in wireless_socs()]
+soc_strategy = st.sampled_from(SCALED)
+channels_strategy = st.integers(min_value=1024, max_value=16384)
+
+
+@given(soc_strategy, channels_strategy)
+@settings(max_examples=60)
+def test_naive_ratio_invariant(soc, n):
+    anchor = evaluate_comm_centric(soc, 1024, DesignHypothesis.NAIVE)
+    point = evaluate_comm_centric(soc, n, DesignHypothesis.NAIVE)
+    assert point.power_ratio == pytest.approx(anchor.power_ratio)
+
+
+@given(soc_strategy, channels_strategy)
+@settings(max_examples=60)
+def test_high_margin_crossing_consistent_with_pointwise(soc, n):
+    crossing = budget_crossing_channels(soc, DesignHypothesis.HIGH_MARGIN)
+    point = evaluate_comm_centric(soc, n, DesignHypothesis.HIGH_MARGIN)
+    if crossing is None or n < crossing:
+        assert point.within_budget
+    elif n >= crossing:
+        # Beyond the closed-form crossing the pointwise check must fail
+        # (allow the integer-rounding boundary itself).
+        if n > crossing:
+            assert not point.within_budget
+
+
+@given(soc_strategy, channels_strategy)
+@settings(max_examples=60)
+def test_power_split_adds_up(soc, n):
+    for hypothesis in DesignHypothesis:
+        point = evaluate_comm_centric(soc, n, hypothesis)
+        assert point.total_power_w == pytest.approx(
+            point.sensing_power_w + point.non_sensing_power_w)
+        assert point.sensing_area_m2 <= point.total_area_m2
+
+
+@given(soc_strategy, channels_strategy)
+@settings(max_examples=60)
+def test_sensing_fraction_order(soc, n):
+    naive = evaluate_comm_centric(soc, n, DesignHypothesis.NAIVE)
+    margin = evaluate_comm_centric(soc, n, DesignHypothesis.HIGH_MARGIN)
+    # Frozen non-sensing area can only raise the sensing share.
+    assert margin.sensing_area_fraction >= \
+        naive.sensing_area_fraction - 1e-12
+
+
+@given(soc_strategy, st.integers(min_value=1024, max_value=8192),
+       st.integers(min_value=0, max_value=1024))
+@settings(max_examples=60)
+def test_qam_min_efficiency_monotone(soc, n, delta):
+    a = evaluate_qam_design(soc, n)
+    b = evaluate_qam_design(soc, n + delta)
+    if math.isfinite(a.min_efficiency) and math.isfinite(b.min_efficiency):
+        # Within and across blocks, more channels never need less
+        # efficiency (Eb is non-decreasing in the block index).
+        assert b.min_efficiency >= a.min_efficiency - 1e-9
+
+
+@given(soc_strategy, channels_strategy)
+@settings(max_examples=60)
+def test_eq6_linearity(soc, n):
+    assert soc.sensing_throughput_bps(n) == pytest.approx(
+        n * soc.sample_bits * soc.sampling_hz)
+
+
+@given(soc_strategy, st.integers(min_value=1, max_value=16))
+@settings(max_examples=40)
+def test_sensing_scaling_linear(soc, factor):
+    n = 1024 * factor
+    assert soc.sensing_power_w(n) == pytest.approx(
+        factor * soc.sensing_power_anchor_w)
+    assert soc.sensing_area_m2(n) == pytest.approx(
+        factor * soc.sensing_area_anchor_m2)

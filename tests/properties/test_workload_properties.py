@@ -1,0 +1,72 @@
+"""Hypothesis property tests over the DNN workload family."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.models import (
+    alpha_scaling_factor,
+    build_speech_dncnn,
+    build_speech_mlp,
+)
+
+channels_strategy = st.integers(min_value=2, max_value=64).map(
+    lambda k: 64 * k)  # 128..4096 in steps of 64
+
+
+@given(channels_strategy)
+@settings(max_examples=30, deadline=None)
+def test_mlp_output_always_40_labels(n):
+    assert build_speech_mlp(n).output_values == 40
+
+
+@given(channels_strategy)
+@settings(max_examples=30, deadline=None)
+def test_dncnn_output_always_40_labels(n):
+    assert build_speech_dncnn(n).output_values == 40
+
+
+@given(channels_strategy, st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_macs_superlinear_in_channels(n, factor):
+    # Doubling-class growth: scaling channels by k multiplies MACs by
+    # more than k (the curse-of-dimensionality premise of Section 5.3).
+    if factor == 1:
+        return
+    small = build_speech_mlp(n).total_macs
+    large = build_speech_mlp(n * factor).total_macs
+    assert large > factor * small
+
+
+@given(channels_strategy)
+@settings(max_examples=25, deadline=None)
+def test_dncnn_heavier_than_mlp(n):
+    assert build_speech_dncnn(n).total_macs > build_speech_mlp(n).total_macs
+
+
+@given(channels_strategy)
+@settings(max_examples=20, deadline=None)
+def test_head_tail_macs_partition(n):
+    net = build_speech_mlp(n)
+    for split in range(1, net.n_compute_layers):
+        head = net.head(split).total_macs
+        tail = net.tail(split).total_macs
+        assert head + tail == net.total_macs
+
+
+@given(channels_strategy)
+@settings(max_examples=20, deadline=None)
+def test_profiles_positive_and_consistent(n):
+    for builder in (build_speech_mlp, build_speech_dncnn):
+        net = builder(n)
+        profiles = net.mac_profiles()
+        assert len(profiles) == net.n_compute_layers
+        assert all(p.mac_seq > 0 and p.mac_ops > 0 for p in profiles)
+        assert sum(p.total_macs for p in profiles) == net.total_macs
+
+
+@given(st.integers(min_value=1, max_value=1 << 20))
+@settings(max_examples=40)
+def test_alpha_linear_in_channels(n):
+    assert alpha_scaling_factor(2 * n) == pytest.approx(
+        2 * alpha_scaling_factor(n))

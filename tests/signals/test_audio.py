@@ -1,0 +1,113 @@
+"""Tests for the sinusoidal vocoder."""
+
+import numpy as np
+import pytest
+
+from repro.signals.audio import SinusoidalVocoder, mel_like_frequencies
+
+
+@pytest.fixture
+def vocoder():
+    return SinusoidalVocoder(frequencies_hz=mel_like_frequencies(40),
+                             sampling_rate_hz=16_000.0,
+                             frame_rate_hz=100.0)
+
+
+class TestFrequencies:
+    def test_count_and_range(self):
+        freqs = mel_like_frequencies(40, 100.0, 6000.0)
+        assert freqs.size == 40
+        assert freqs[0] == pytest.approx(100.0)
+        assert freqs[-1] == pytest.approx(6000.0)
+
+    def test_log_spacing(self):
+        freqs = mel_like_frequencies(10)
+        ratios = freqs[1:] / freqs[:-1]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-9)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            mel_like_frequencies(0)
+        with pytest.raises(ValueError):
+            mel_like_frequencies(10, 500.0, 100.0)
+
+
+class TestSynthesis:
+    def test_output_length(self, vocoder):
+        frames = np.zeros((25, 40))
+        frames[:, 10] = 1.0
+        audio = vocoder.synthesize(frames)
+        assert audio.size == 25 * vocoder.samples_per_frame
+
+    def test_silence_stays_silent(self, vocoder):
+        audio = vocoder.synthesize(np.zeros((10, 40)))
+        assert np.all(audio == 0.0)
+
+    def test_peak_normalized(self, vocoder, rng):
+        frames = rng.uniform(0, 1, (20, 40))
+        audio = vocoder.synthesize(frames)
+        assert np.max(np.abs(audio)) == pytest.approx(1.0)
+
+    def test_single_bin_produces_pure_tone(self, vocoder):
+        frames = np.zeros((50, 40))
+        frames[:, 20] = 1.0
+        audio = vocoder.synthesize(frames)
+        spectrum = np.abs(np.fft.rfft(audio))
+        freqs = np.fft.rfftfreq(audio.size, 1 / 16_000.0)
+        peak_freq = freqs[np.argmax(spectrum)]
+        assert peak_freq == pytest.approx(vocoder.frequencies_hz[20],
+                                          rel=0.02)
+
+    def test_negative_amplitudes_clipped(self, vocoder):
+        frames = np.full((10, 40), -1.0)
+        audio = vocoder.synthesize(frames)
+        assert np.all(audio == 0.0)
+
+    def test_rejects_wrong_width(self, vocoder):
+        with pytest.raises(ValueError):
+            vocoder.synthesize(np.zeros((10, 39)))
+
+
+class TestAnalysisRoundTrip:
+    def test_analysis_recovers_active_bins(self, vocoder):
+        frames = np.zeros((40, 40))
+        frames[:20, 5] = 1.0
+        frames[20:, 30] = 1.0
+        audio = vocoder.synthesize(frames)
+        recovered = vocoder.analyze(audio)
+        early = recovered[5:15]
+        late = recovered[25:35]
+        assert early[:, 5].mean() > 3 * early[:, 30].mean()
+        assert late[:, 30].mean() > 3 * late[:, 5].mean()
+
+    def test_end_to_end_with_speech_decoder(self, vocoder, rng):
+        # Close the paper's loop: synthetic ECoG features -> trained MLP
+        # -> 40 decoded bins -> audio.
+        from repro.decoders import DnnDecoder
+        from repro.dnn.models import build_speech_mlp
+        from repro.signals.datasets import make_speech_dataset
+
+        data = make_speech_dataset(32, 300, rng, window=2)
+        net = build_speech_mlp(32, rng=rng, window=2)
+        decoder = DnnDecoder(net, epochs=5, learning_rate=0.05)
+        decoder.fit(data.features, data.targets, rng)
+        decoded = decoder.decode(data.features[:30])
+        audio = vocoder.synthesize(np.maximum(decoded, 0.0))
+        assert audio.size == 30 * vocoder.samples_per_frame
+        assert np.isfinite(audio).all()
+
+
+class TestValidation:
+    def test_rejects_frequency_above_nyquist(self):
+        with pytest.raises(ValueError):
+            SinusoidalVocoder(frequencies_hz=np.array([9000.0]),
+                              sampling_rate_hz=16_000.0)
+
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValueError):
+            SinusoidalVocoder(frequencies_hz=np.array([]))
+
+    def test_rejects_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            SinusoidalVocoder(frequencies_hz=np.array([100.0]),
+                              frame_rate_hz=0.0)

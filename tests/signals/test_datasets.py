@@ -1,0 +1,68 @@
+"""Tests for the synthetic decoding datasets."""
+
+import numpy as np
+import pytest
+
+from repro.signals.datasets import (
+    SPEECH_OUTPUT_BINS,
+    make_cursor_dataset,
+    make_speech_dataset,
+)
+
+
+class TestCursorDataset:
+    def test_shapes(self, rng):
+        data = make_cursor_dataset(32, 500, rng)
+        assert data.features.shape == (500, 32)
+        assert data.velocity.shape == (500, 2)
+        assert data.position.shape == (500, 2)
+
+    def test_position_integrates_velocity(self, rng):
+        data = make_cursor_dataset(8, 100, rng, dt_s=0.02)
+        expected = np.cumsum(data.velocity * 0.02, axis=0)
+        np.testing.assert_allclose(data.position, expected)
+
+    def test_features_carry_velocity_information(self, rng):
+        data = make_cursor_dataset(64, 2000, rng, noise_rms=0.1)
+        # Linear regression from features to velocity should beat chance.
+        w, *_ = np.linalg.lstsq(data.features, data.velocity, rcond=None)
+        pred = data.features @ w
+        corr = np.corrcoef(pred[:, 0], data.velocity[:, 0])[0, 1]
+        assert corr > 0.5
+
+    def test_velocity_is_bounded(self, rng):
+        data = make_cursor_dataset(4, 5000, rng)
+        assert np.max(np.abs(data.velocity)) < 20.0
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ValueError):
+            make_cursor_dataset(0, 100, rng)
+        with pytest.raises(ValueError):
+            make_cursor_dataset(4, 0, rng)
+
+
+class TestSpeechDataset:
+    def test_shapes(self, rng):
+        data = make_speech_dataset(16, 200, rng, window=4)
+        assert data.features.shape == (200, 64)
+        assert data.targets.shape == (200, SPEECH_OUTPUT_BINS)
+        assert data.n_channels == 16
+        assert data.window == 4
+
+    def test_targets_bounded_by_tanh(self, rng):
+        data = make_speech_dataset(8, 100, rng)
+        assert np.max(np.abs(data.targets)) <= 1.0
+
+    def test_mapping_is_learnable(self, rng):
+        data = make_speech_dataset(32, 3000, rng, noise_rms=0.05)
+        w, *_ = np.linalg.lstsq(data.features, data.targets, rcond=None)
+        pred = data.features @ w
+        corr = np.corrcoef(pred[:, 0], data.targets[:, 0])[0, 1]
+        assert corr > 0.5
+
+    def test_output_bins_match_paper(self):
+        assert SPEECH_OUTPUT_BINS == 40
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(ValueError):
+            make_speech_dataset(8, 100, rng, window=0)

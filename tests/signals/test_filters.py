@@ -1,0 +1,116 @@
+"""Tests for the DSP conditioning filters."""
+
+import numpy as np
+import pytest
+
+from repro.signals.filters import (
+    bandpass,
+    common_average_reference,
+    lfp_band,
+    notch,
+    spike_band,
+)
+
+FS = 10_000.0
+
+
+def tone(freq_hz: float, duration_s: float = 1.0) -> np.ndarray:
+    t = np.arange(int(duration_s * FS)) / FS
+    return np.sin(2 * np.pi * freq_hz * t)
+
+
+def band_power(x: np.ndarray) -> float:
+    return float(np.mean(x[500:-500] ** 2))  # trim filter edges
+
+
+class TestBandpass:
+    def test_passes_in_band(self):
+        x = tone(1000.0)
+        y = bandpass(x, 300.0, 3000.0, FS)
+        assert band_power(y) == pytest.approx(band_power(x), rel=0.05)
+
+    def test_rejects_out_of_band(self):
+        low, high = tone(10.0), tone(4500.0)
+        assert band_power(bandpass(low, 300.0, 3000.0, FS)) < \
+            0.01 * band_power(low)
+        assert band_power(bandpass(high, 300.0, 3000.0, FS)) < \
+            0.05 * band_power(high)
+
+    def test_zero_phase(self):
+        # filtfilt: an in-band tone must not be delayed.
+        x = tone(1000.0)
+        y = bandpass(x, 300.0, 3000.0, FS)
+        lag = np.argmax(np.correlate(y[1000:2000], x[1000:2000], "full"))
+        assert abs(lag - 999) <= 1
+
+    def test_multichannel(self, rng):
+        data = rng.standard_normal((4, 5000))
+        out = bandpass(data, 300.0, 3000.0, FS)
+        assert out.shape == data.shape
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            bandpass(np.zeros(100), 3000.0, 300.0, FS)
+        with pytest.raises(ValueError):
+            bandpass(np.zeros(100), 300.0, 6000.0, FS)
+
+
+class TestNotch:
+    def test_kills_mains(self):
+        x = tone(60.0, duration_s=2.0)
+        y = notch(x, 60.0, FS)
+        assert band_power(y) < 0.05 * band_power(x)
+
+    def test_preserves_neighbours(self):
+        x = tone(120.0, duration_s=2.0)
+        y = notch(x, 60.0, FS)
+        assert band_power(y) == pytest.approx(band_power(x), rel=0.1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            notch(np.zeros(100), 6000.0, FS)
+        with pytest.raises(ValueError):
+            notch(np.zeros(100), 60.0, FS, quality=0.0)
+
+
+class TestCar:
+    def test_removes_shared_component(self, rng):
+        shared = tone(25.0)
+        data = np.stack([shared + 0.1 * rng.standard_normal(shared.size)
+                         for _ in range(8)])
+        out = common_average_reference(data)
+        assert band_power(out[0]) < 0.05 * band_power(data[0])
+
+    def test_zero_mean_across_channels(self, rng):
+        data = rng.standard_normal((6, 1000))
+        out = common_average_reference(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_rejects_single_channel(self, rng):
+        with pytest.raises(ValueError):
+            common_average_reference(rng.standard_normal((1, 100)))
+
+
+class TestBandHelpers:
+    def test_spike_band_passes_spikes(self):
+        x = tone(1000.0)
+        assert band_power(spike_band(x, FS)) > 0.8 * band_power(x)
+
+    def test_lfp_band_passes_lfp(self):
+        x = tone(20.0, duration_s=2.0)
+        assert band_power(lfp_band(x, FS)) > 0.8 * band_power(x)
+
+    def test_bands_are_complementary(self):
+        x = tone(20.0, duration_s=2.0) + tone(1000.0, duration_s=2.0)
+        spikes = spike_band(x, FS)
+        lfp = lfp_band(x, FS)
+        # Each band retains about half the mixed power.
+        assert band_power(spikes) == pytest.approx(0.5, rel=0.2)
+        assert band_power(lfp) == pytest.approx(0.5, rel=0.2)
+
+    def test_low_rate_ni_caps_bands(self):
+        # A 1 kHz NI (Muller) cannot carry a 6 kHz spike band; the helper
+        # must clamp below Nyquist instead of raising.
+        x = np.random.default_rng(0).standard_normal(2000)
+        out = lfp_band(x, 1000.0)
+        assert out.shape == x.shape

@@ -1,0 +1,88 @@
+"""Tests for field-potential synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.signals.lfp import (
+    DEFAULT_BANDS,
+    OscillatoryBand,
+    pink_noise,
+    synthesize_ecog,
+)
+
+
+class TestPinkNoise:
+    def test_unit_rms(self, rng):
+        noise = pink_noise(16384, rng)
+        assert np.sqrt(np.mean(noise ** 2)) == pytest.approx(1.0, rel=1e-6)
+
+    def test_spectral_slope_is_pink(self, rng):
+        noise = pink_noise(1 << 16, rng, exponent=1.0)
+        spectrum = np.abs(np.fft.rfft(noise)) ** 2
+        freqs = np.fft.rfftfreq(noise.size)
+        lo = spectrum[(freqs > 0.001) & (freqs < 0.01)].mean()
+        hi = spectrum[(freqs > 0.1) & (freqs < 0.5)].mean()
+        assert lo > 10 * hi  # low frequencies dominate
+
+    def test_white_noise_flat(self, rng):
+        noise = pink_noise(1 << 16, rng, exponent=0.0)
+        spectrum = np.abs(np.fft.rfft(noise)) ** 2
+        freqs = np.fft.rfftfreq(noise.size)
+        lo = spectrum[(freqs > 0.001) & (freqs < 0.01)].mean()
+        hi = spectrum[(freqs > 0.1) & (freqs < 0.5)].mean()
+        assert lo == pytest.approx(hi, rel=0.5)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            pink_noise(0, rng)
+
+
+class TestOscillatoryBand:
+    def test_valid_band(self):
+        band = OscillatoryBand(center_hz=10.0, bandwidth_hz=4.0,
+                               amplitude=0.5)
+        assert band.center_hz == 10.0
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            OscillatoryBand(center_hz=0.0, bandwidth_hz=1.0, amplitude=1.0)
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            OscillatoryBand(center_hz=10.0, bandwidth_hz=1.0,
+                            amplitude=-0.1)
+
+    def test_default_bands_are_valid(self):
+        assert len(DEFAULT_BANDS) >= 3
+
+
+class TestSynthesizeEcog:
+    def test_output_shape(self, rng):
+        data = synthesize_ecog(8, 0.5, 2000.0, rng)
+        assert data.shape == (8, 1000)
+
+    def test_spatial_correlation_increases_with_parameter(self, rng):
+        def mean_corr(rho: float) -> float:
+            data = synthesize_ecog(6, 2.0, 1000.0, rng,
+                                   spatial_correlation=rho, noise_rms=0.05)
+            corr = np.corrcoef(data)
+            off_diag = corr[~np.eye(6, dtype=bool)]
+            return float(off_diag.mean())
+
+        assert mean_corr(0.9) > mean_corr(0.1)
+
+    def test_band_power_present(self, rng):
+        data = synthesize_ecog(2, 4.0, 1000.0, rng, noise_rms=0.0)
+        spectrum = np.abs(np.fft.rfft(data[0])) ** 2
+        freqs = np.fft.rfftfreq(data.shape[1], d=1 / 1000.0)
+        alpha = spectrum[(freqs > 8) & (freqs < 12)].mean()
+        gap = spectrum[(freqs > 150) & (freqs < 200)].mean()
+        assert alpha > gap
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_ecog(0, 1.0, 1000.0, rng)
+        with pytest.raises(ValueError):
+            synthesize_ecog(4, 1.0, 1000.0, rng, spatial_correlation=1.5)
+        with pytest.raises(ValueError):
+            synthesize_ecog(4, 0.0, 1000.0, rng)

@@ -1,0 +1,110 @@
+"""Tests for spectral feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.signals.spectral import (
+    CANONICAL_BANDS,
+    EnvelopeExtractor,
+    band_power,
+    band_power_features,
+    welch_psd,
+)
+
+FS = 2000.0
+
+
+def tone(freq_hz: float, duration_s: float = 4.0,
+         amplitude: float = 1.0) -> np.ndarray:
+    t = np.arange(int(duration_s * FS)) / FS
+    return amplitude * np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestWelch:
+    def test_peak_at_tone_frequency(self):
+        freqs, psd = welch_psd(tone(100.0), FS)
+        assert freqs[np.argmax(psd)] == pytest.approx(100.0, abs=4.0)
+
+    def test_multichannel_shape(self, rng):
+        data = rng.standard_normal((4, 4000))
+        freqs, psd = welch_psd(data, FS)
+        assert psd.shape == (4, freqs.size)
+
+    def test_rejects_short_data(self):
+        with pytest.raises(ValueError):
+            welch_psd(np.zeros(10), FS, segment_s=0.25)
+
+
+class TestBandPower:
+    def test_tone_power_lands_in_its_band(self):
+        x = tone(100.0)
+        inside = band_power(x, FS, 70.0, 170.0)
+        outside = band_power(x, FS, 1.0, 30.0)
+        assert inside > 100 * outside
+
+    def test_parseval_like_scaling(self):
+        weak = band_power(tone(100.0, amplitude=1.0), FS, 70.0, 170.0)
+        strong = band_power(tone(100.0, amplitude=2.0), FS, 70.0, 170.0)
+        assert strong == pytest.approx(4.0 * weak, rel=0.05)
+
+    def test_rejects_band_above_nyquist(self):
+        with pytest.raises(ValueError):
+            band_power(tone(10.0), FS, 100.0, 2000.0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            band_power(tone(10.0), FS, 50.0, 20.0)
+
+
+class TestFeatureMatrix:
+    def test_shape_uses_all_canonical_bands(self, rng):
+        data = rng.standard_normal((3, 4000))
+        features = band_power_features(data, FS)
+        assert features.shape == (3, len(CANONICAL_BANDS))
+
+    def test_low_rate_ni_drops_high_bands(self, rng):
+        # A 200 Hz NI cannot carry high gamma (70-170 fits under 100 only
+        # partially) — bands above Nyquist are skipped.
+        data = rng.standard_normal((2, 2000))
+        features = band_power_features(data, 200.0)
+        assert features.shape[1] < len(CANONICAL_BANDS)
+
+    def test_feature_separates_band_content(self):
+        alpha_heavy = tone(10.0)
+        gamma_heavy = tone(100.0)
+        data = np.stack([alpha_heavy, gamma_heavy])
+        features = band_power_features(data, FS)
+        names = list(CANONICAL_BANDS)
+        alpha_idx = names.index("alpha")
+        hg_idx = names.index("high_gamma")
+        assert features[0, alpha_idx] > features[0, hg_idx]
+        assert features[1, hg_idx] > features[1, alpha_idx]
+
+
+class TestEnvelope:
+    def test_frame_count(self, rng):
+        data = rng.standard_normal((4, 4000))
+        frames = EnvelopeExtractor(frame_s=0.05).frames(data, FS)
+        assert frames.shape == (40, 4)  # 2 s / 50 ms
+
+    def test_tracks_amplitude_modulation(self):
+        # High-gamma carrier with a slow on/off envelope.
+        carrier = tone(100.0, duration_s=2.0)
+        gate = np.zeros_like(carrier)
+        gate[:len(gate) // 2] = 1.0
+        data = (carrier * gate)[None, :]
+        frames = EnvelopeExtractor(frame_s=0.1).frames(data, FS)
+        first_half = frames[:8, 0].mean()
+        second_half = frames[12:, 0].mean()
+        assert first_half > 5 * second_half
+
+    def test_rejects_short_recording(self, rng):
+        with pytest.raises(ValueError):
+            EnvelopeExtractor(frame_s=1.0).frames(
+                rng.standard_normal((1, 100)), FS)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            EnvelopeExtractor(frame_s=0.0)
+        with pytest.raises(ValueError):
+            EnvelopeExtractor(band_hz=(100.0, 50.0))

@@ -1,0 +1,110 @@
+"""Tests for spike-train and template generation."""
+
+import numpy as np
+import pytest
+
+from repro.signals.spikes import (
+    SpikeUnit,
+    biphasic_spike_template,
+    exponential_spike_template,
+    poisson_spike_train,
+    render_spike_waveform,
+)
+
+
+class TestTemplates:
+    def test_exponential_is_negative_going(self):
+        template = exponential_spike_template(30e3)
+        assert template[0] == pytest.approx(-1.0)
+        assert np.all(template <= 0)
+
+    def test_exponential_decays(self):
+        template = exponential_spike_template(30e3, decay_s=2e-4)
+        assert abs(template[-1]) < abs(template[0])
+
+    def test_exponential_length(self):
+        template = exponential_spike_template(30e3, duration_s=2e-3)
+        assert template.size == 60
+
+    def test_biphasic_has_trough_and_hump(self):
+        template = biphasic_spike_template(30e3)
+        assert template.min() == pytest.approx(-1.0, abs=1e-9)
+        assert template.max() > 0.0
+
+    def test_biphasic_amplitude_scaling(self):
+        template = biphasic_spike_template(30e3, amplitude=3.0)
+        assert np.max(np.abs(template)) == pytest.approx(3.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential_spike_template(0.0)
+
+
+class TestPoissonTrain:
+    def test_rate_is_approximately_respected(self, rng):
+        rate, duration, fs = 50.0, 20.0, 10e3
+        train = poisson_spike_train(rate, duration, fs, rng,
+                                    refractory_s=0.0)
+        measured = train.sum() / duration
+        assert measured == pytest.approx(rate, rel=0.15)
+
+    def test_refractory_enforced(self, rng):
+        train = poisson_spike_train(400.0, 5.0, 10e3, rng,
+                                    refractory_s=5e-3)
+        spikes = np.flatnonzero(train)
+        gaps = np.diff(spikes)
+        assert np.all(gaps > 50)
+
+    def test_zero_rate_is_silent(self, rng):
+        train = poisson_spike_train(0.0, 1.0, 10e3, rng)
+        assert train.sum() == 0
+
+    def test_time_varying_rate(self, rng):
+        rates = np.concatenate([np.zeros(5000), np.full(5000, 100.0)])
+        train = poisson_spike_train(rates, 0.0, 10e3, rng,
+                                    refractory_s=0.0)
+        assert train[:5000].sum() == 0
+        assert train[5000:].sum() > 0
+
+    def test_rejects_negative_rates(self, rng):
+        with pytest.raises(ValueError):
+            poisson_spike_train(-1.0, 1.0, 10e3, rng)
+
+
+class TestRenderWaveform:
+    def test_single_spike_places_template(self):
+        template = np.array([-1.0, -0.5, -0.25])
+        wave = render_spike_waveform(np.array([2]), template, 10)
+        assert wave[2] == pytest.approx(-1.0)
+        assert wave[4] == pytest.approx(-0.25)
+        assert wave[0] == 0.0
+
+    def test_truncates_at_buffer_end(self):
+        template = np.array([-1.0, -0.5, -0.25])
+        wave = render_spike_waveform(np.array([9]), template, 10)
+        assert wave[9] == pytest.approx(-1.0)
+
+    def test_overlapping_spikes_superpose(self):
+        template = np.array([-1.0, -1.0])
+        wave = render_spike_waveform(np.array([0, 1]), template, 4)
+        assert wave[1] == pytest.approx(-2.0)
+
+    def test_amplitude_scaling(self):
+        template = np.array([-1.0])
+        wave = render_spike_waveform(np.array([0]), template, 2,
+                                     amplitude=4.0)
+        assert wave[0] == pytest.approx(-4.0)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            render_spike_waveform(np.array([10]), np.array([-1.0]), 10)
+
+
+class TestSpikeUnit:
+    def test_spike_times_uses_rate(self, rng):
+        unit = SpikeUnit(rate_hz=100.0)
+        times = unit.spike_times(10.0, 10e3, rng)
+        assert 300 < times.size < 2000  # refractory thins the train
+
+    def test_channel_weights_default_empty(self):
+        assert SpikeUnit(rate_hz=1.0).channel_weights == {}

@@ -1,0 +1,119 @@
+"""Tests for the closed-loop cursor-task simulator."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import KalmanFilterDecoder, WienerFilterDecoder
+from repro.simulate.cursor_task import (
+    CursorTask,
+    SimulatedUser,
+    run_closed_loop_session,
+)
+
+
+class TestSimulatedUser:
+    def test_intent_points_at_target(self, rng):
+        user = SimulatedUser()
+        intent = user.intend(np.zeros(2), np.array([3.0, 0.0]))
+        assert intent[0] > 0
+        assert intent[1] == pytest.approx(0.0)
+
+    def test_intent_speed_limited(self):
+        user = SimulatedUser(intent_speed=1.0)
+        intent = user.intend(np.zeros(2), np.array([100.0, 0.0]))
+        assert np.linalg.norm(intent) == pytest.approx(1.0)
+
+    def test_intent_slows_near_target(self):
+        user = SimulatedUser(intent_speed=1.0)
+        intent = user.intend(np.zeros(2), np.array([0.3, 0.0]))
+        assert np.linalg.norm(intent) == pytest.approx(0.3)
+
+    def test_zero_at_target(self):
+        user = SimulatedUser()
+        intent = user.intend(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(intent, np.zeros(2))
+
+    def test_encoding_carries_direction(self, rng):
+        user = SimulatedUser(noise_rms=0.0)
+        preferred = user.preferred_directions(rng)
+        east = user.encode(np.array([1.0, 0.0]), preferred, rng)
+        west = user.encode(np.array([-1.0, 0.0]), preferred, rng)
+        east_cells = preferred[:, 0] > 0.5
+        assert east[east_cells].mean() > west[east_cells].mean()
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            SimulatedUser(n_channels=1)
+        with pytest.raises(ValueError):
+            SimulatedUser(intent_speed=0.0)
+
+
+class TestCursorTask:
+    def test_targets_on_ring(self, rng):
+        task = CursorTask(target_distance=4.0)
+        targets = task.targets(10, rng)
+        radii = np.linalg.norm(targets, axis=1)
+        np.testing.assert_allclose(radii, 4.0, rtol=1e-9)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            CursorTask(target_radius=0.0)
+        with pytest.raises(ValueError):
+            CursorTask(dt_s=1.0, timeout_s=0.5)
+
+
+class TestClosedLoopSession:
+    def test_kalman_user_hits_targets(self, rng):
+        outcome = run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=0.2),
+            CursorTask(), rng, n_trials=10)
+        assert outcome.hit_rate >= 0.8
+        assert outcome.mean_time_to_target_s > 0
+
+    def test_wiener_user_hits_targets(self, rng):
+        outcome = run_closed_loop_session(
+            WienerFilterDecoder(n_lags=3), SimulatedUser(noise_rms=0.2),
+            CursorTask(), rng, n_trials=10)
+        assert outcome.hit_rate >= 0.8
+
+    def test_noise_degrades_performance(self, rng):
+        clean = run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=0.1),
+            CursorTask(), rng, n_trials=12)
+        noisy = run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=3.0),
+            CursorTask(), rng, n_trials=12)
+        assert (noisy.hit_rate < clean.hit_rate
+                or noisy.mean_time_to_target_s
+                > clean.mean_time_to_target_s)
+
+    def test_latency_hurts_the_loop(self, rng):
+        # The application-level cost of loop latency (Section 8): delayed
+        # commands overshoot and slow acquisition.
+        fast = run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=0.2),
+            CursorTask(), rng, n_trials=12, latency_steps=0)
+        slow = run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=0.2),
+            CursorTask(), rng, n_trials=12, latency_steps=25)
+        fast_score = fast.hit_rate / max(fast.mean_time_to_target_s, 1e-9)
+        slow_score = (slow.hit_rate
+                      / max(slow.mean_time_to_target_s, 1e-9)
+                      if slow.hits else 0.0)
+        assert slow_score < fast_score
+
+    def test_path_efficiency_bounded(self, rng):
+        outcome = run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=0.2),
+            CursorTask(), rng, n_trials=8)
+        assert 0.0 < outcome.mean_path_efficiency <= 1.2
+
+    def test_rejects_invalid(self, rng):
+        with pytest.raises(ValueError):
+            run_closed_loop_session(KalmanFilterDecoder(),
+                                    SimulatedUser(), CursorTask(), rng,
+                                    n_trials=0)
+        with pytest.raises(ValueError):
+            run_closed_loop_session(KalmanFilterDecoder(),
+                                    SimulatedUser(), CursorTask(), rng,
+                                    latency_steps=-1)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_designs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BISC" in out and "Pollman" in out
+
+
+class TestAssess:
+    def test_assess_bisc(self, capsys):
+        assert main(["assess", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "BISC" in out and "SAFE" in out
+
+    def test_assess_unknown_soc(self, capsys):
+        assert main(["assess", "42"]) == 2
+
+
+class TestEvaluate:
+    def test_single_experiment(self, capsys, tmp_path):
+        assert main(["evaluate", "fig9",
+                     "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "design points" in out
+        assert (tmp_path / "fig9.csv").exists()
+
+    def test_unknown_experiment(self, capsys, tmp_path):
+        assert main(["evaluate", "fig99",
+                     "--output-dir", str(tmp_path)]) == 2
+
+    def test_multiple_experiments(self, capsys, tmp_path):
+        assert main(["evaluate", "table1", "fig4",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "fig4.csv").exists()
+
+
+class TestExplore:
+    def test_explore_bisc(self, capsys):
+        assert main(["explore", "1", "--channels", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out and "best at target" in out
+
+    def test_explore_wired_rejected(self, capsys):
+        assert main(["explore", "10"]) == 2
+
+    def test_explore_unknown(self, capsys):
+        assert main(["explore", "42"]) == 2
+
+
+class TestRoadmap:
+    def test_roadmap_bisc(self, capsys):
+        assert main(["roadmap", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "overtaken_in" in out and "never" in out
+
+    def test_roadmap_wired_rejected(self, capsys):
+        assert main(["roadmap", "9"]) == 2
+
+    def test_roadmap_unknown(self, capsys):
+        assert main(["roadmap", "42"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

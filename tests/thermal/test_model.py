@@ -1,0 +1,93 @@
+"""Tests for the tissue heating model."""
+
+import pytest
+
+from repro.thermal.model import TissueThermalModel
+from repro.units import SAFE_POWER_DENSITY
+
+
+class TestSteadyState:
+    def test_rise_at_safe_limit_is_one_to_two_degrees(self):
+        # The 40 mW/cm^2 limit must correspond to the paper's 1-2 degC
+        # safe window (Section 3.2).
+        model = TissueThermalModel()
+        rise = model.steady_state_rise_k(SAFE_POWER_DENSITY)
+        assert 0.5 <= rise <= 2.0
+
+    def test_rise_linear_in_density(self):
+        model = TissueThermalModel()
+        assert model.steady_state_rise_k(800.0) == pytest.approx(
+            2 * model.steady_state_rise_k(400.0))
+
+    def test_zero_density_zero_rise(self):
+        assert TissueThermalModel().steady_state_rise_k(0.0) == 0.0
+
+    def test_more_perfusion_less_heating(self):
+        low = TissueThermalModel(perfusion_per_s=0.005)
+        high = TissueThermalModel(perfusion_per_s=0.02)
+        assert (high.steady_state_rise_k(400.0)
+                < low.steady_state_rise_k(400.0))
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError):
+            TissueThermalModel().steady_state_rise_k(-1.0)
+
+
+class TestDepthProfile:
+    def test_decays_with_depth(self):
+        model = TissueThermalModel()
+        surface = model.depth_rise_k(400.0, 0.0)
+        deep = model.depth_rise_k(400.0, 5e-3)
+        assert deep < surface
+
+    def test_penetration_depth_is_millimetric(self):
+        model = TissueThermalModel()
+        depth = 1.0 / model.decay_constant_per_m
+        assert 1e-3 < depth < 2e-2
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            TissueThermalModel().depth_rise_k(400.0, -1.0)
+
+
+class TestTransient:
+    def test_starts_at_zero(self):
+        assert TissueThermalModel().transient_rise_k(400.0, 0.0) == 0.0
+
+    def test_approaches_steady_state(self):
+        model = TissueThermalModel()
+        steady = model.steady_state_rise_k(400.0)
+        late = model.transient_rise_k(400.0, 10 * model.time_constant_s)
+        assert late == pytest.approx(steady, rel=1e-3)
+
+    def test_monotone_in_time(self):
+        model = TissueThermalModel()
+        tau = model.time_constant_s
+        values = [model.transient_rise_k(400.0, t)
+                  for t in (0.1 * tau, tau, 3 * tau)]
+        assert values[0] < values[1] < values[2]
+
+    def test_time_constant_is_seconds_to_minutes(self):
+        tau = TissueThermalModel().time_constant_s
+        assert 1.0 < tau < 600.0
+
+
+class TestInverse:
+    def test_safe_density_round_trip(self):
+        model = TissueThermalModel()
+        density = model.safe_density_w_m2(max_rise_k=1.0)
+        assert model.steady_state_rise_k(density) == pytest.approx(1.0)
+
+    def test_safe_density_near_paper_limit(self):
+        # For 1 degC the model should allow a density in the same decade
+        # as the paper's 400 W/m^2 limit.
+        density = TissueThermalModel().safe_density_w_m2(1.0)
+        assert 100.0 < density < 1200.0
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(ValueError):
+            TissueThermalModel().safe_density_w_m2(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TissueThermalModel(conductivity_w_mk=0.0)
