@@ -7,13 +7,54 @@ timing and asserts its headline shape, so `pytest benchmarks/
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
+
+#: Where the per-session benchmark manifest lands.
+BENCH_MANIFEST_PATH = Path("results") / "bench_manifest.json"
 
 
 @pytest.fixture(scope="session")
 def wireless_scaled():
     """SoCs 1-8 at the 1024-channel anchor."""
     return [scale_to_standard(record) for record in wireless_socs()]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``results/bench_manifest.json`` per benchmark session.
+
+    Every benchmark's timing flows through the metrics layer
+    (histograms named ``bench.<test>.seconds``) and the snapshot is
+    persisted with full run provenance, so ``BENCH_*.json``-style
+    trajectories can always be correlated against the code and
+    environment that produced them.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    from repro.obs.manifest import build_manifest, write_manifest
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for bench in benchmarks:
+        try:
+            stats = bench.stats
+            name = bench.name
+            mean_s = float(stats.mean)
+            min_s = float(stats.min)
+        except Exception:  # stats absent (e.g. --benchmark-disable)
+            continue
+        registry.inc("bench.runs")
+        registry.observe(f"bench.{name}.seconds", mean_s)
+        registry.observe(f"bench.{name}.min_seconds", min_s)
+    manifest = build_manifest(
+        "bench",
+        extra={"exit_status": int(exitstatus),
+               "n_benchmarks": len(benchmarks),
+               "metrics": registry.snapshot()})
+    write_manifest(BENCH_MANIFEST_PATH, manifest)

@@ -1,0 +1,85 @@
+"""Benchmark: disabled-instrumentation overhead on the fig7 driver.
+
+The ``repro.obs`` contract is that instrumentation left in the hot paths
+costs < 5 % when disabled (the default), so later perf PRs can trust the
+un-traced numbers.  This benchmark verifies the contract two ways:
+
+1. micro: the per-call cost of a disabled ``span()`` / ``inc()`` is
+   measured directly and must stay under 2 microseconds;
+2. macro: the number of instrumentation events one fig7 run emits is
+   counted under full tracing, and (events x per-call disabled cost)
+   must stay under 5 % of the driver's measured runtime.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+from repro import obs
+from repro.experiments import fig7, run_module
+from repro.obs import metrics, trace
+
+#: Contract: disabled instrumentation must cost < 5 % of runtime.
+MAX_OVERHEAD_FRACTION = 0.05
+
+#: Sanity ceiling on one disabled span()/inc() call (seconds).
+MAX_DISABLED_CALL_S = 2e-6
+
+
+def _disabled_span_cost_s() -> float:
+    """Per-call cost of entering+exiting a disabled span."""
+    n = 20_000
+
+    def one_span() -> None:
+        with trace.span("bench.noop"):
+            pass
+
+    return min(timeit.repeat(one_span, number=n, repeat=5)) / n
+
+
+def _disabled_inc_cost_s() -> float:
+    """Per-call cost of a disabled counter increment."""
+    n = 20_000
+    return min(timeit.repeat(lambda: metrics.inc("bench.noop"),
+                             number=n, repeat=5)) / n
+
+
+def _count_instrumentation_events() -> int:
+    """Spans + metric updates emitted by one fully-traced fig7 run."""
+    obs.enable_all()
+    obs.reset_all()
+    try:
+        run_module(fig7)
+        n_spans = trace.TRACER.span_count()
+        n_metric_updates = sum(
+            metrics.REGISTRY.snapshot()["counters"].values())
+    finally:
+        obs.disable_all()
+        obs.reset_all()
+    # Each counter increment is at most one call site; histograms and
+    # gauges are negligible next to the counters here.
+    return n_spans + int(n_metric_updates)
+
+
+def test_bench_obs_disabled_overhead(benchmark):
+    assert not trace.tracing_enabled()
+    assert not metrics.metrics_enabled()
+
+    runtime_s = benchmark(fig7.run)  # noqa: F841 - timing via .stats
+    baseline_s = benchmark.stats.stats.min
+
+    span_cost = _disabled_span_cost_s()
+    inc_cost = _disabled_inc_cost_s()
+    assert span_cost < MAX_DISABLED_CALL_S, (
+        f"disabled span costs {span_cost * 1e9:.0f} ns/call")
+    assert inc_cost < MAX_DISABLED_CALL_S, (
+        f"disabled inc costs {inc_cost * 1e9:.0f} ns/call")
+
+    n_events = _count_instrumentation_events()
+    worst_case_overhead_s = n_events * max(span_cost, inc_cost)
+    fraction = worst_case_overhead_s / baseline_s
+    print(f"\nfig7: {n_events} instrumentation events, "
+          f"{baseline_s * 1e3:.1f} ms baseline, worst-case disabled "
+          f"overhead {worst_case_overhead_s * 1e6:.1f} us "
+          f"({fraction * 100:.3f}%)")
+    assert fraction < MAX_OVERHEAD_FRACTION

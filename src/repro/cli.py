@@ -4,7 +4,7 @@ Commands:
 
 * ``list`` — list the Table 1 designs.
 * ``evaluate [NAMES...]`` — regenerate paper tables/figures (default all),
-  printing each rendering and writing CSVs.
+  printing each rendering and writing CSVs + run manifests.
 * ``assess SOC`` — scale one Table 1 design to 1024 channels and print its
   safety report and headline feasibility numbers.
 * ``explore SOC`` — run the full strategy comparison for one design.
@@ -12,20 +12,46 @@ Commands:
   strategy's frontier.
 * ``validate`` — score every machine-checkable paper claim against the
   regenerated results (exit code 0 when all pass).
+* ``profile EXPERIMENT`` — run one experiment under the span tracer and
+  print the nested span tree plus the top-N hotspots.
+
+Global observability flags (valid after any subcommand):
+
+* ``--trace`` — record spans and write a JSON trace
+  (``<output-dir>/trace.json`` for ``evaluate``, ``results/trace.json``
+  otherwise).
+* ``--metrics`` — collect counters/gauges/histograms and print the
+  snapshot after the command finishes.
+* ``--quiet`` — suppress per-experiment renderings (artifacts are still
+  written).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
+from repro import obs
 from repro.core.explorer import explore
 from repro.core.scaling import scale_to_standard
 from repro.core.socs import TABLE1, soc_by_number
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    EXTENSION_EXPERIMENTS,
+    experiment_name,
+    run_module,
+)
 from repro.experiments.report import DEFAULT_OUTPUT_DIR, format_table
 from repro.thermal.budget import assess as thermal_assess
 from repro.units import to_mbps, to_mm2, to_mw
+
+
+def _known_experiments() -> dict[str, object]:
+    """Experiment id -> driver module, extensions included."""
+    return {experiment_name(module): module
+            for module in ALL_EXPERIMENTS + EXTENSION_EXPERIMENTS}
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -38,7 +64,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     wanted = set(args.names) if args.names else None
-    known = {module.__name__.rsplit(".", 1)[-1]: module
+    known = {experiment_name(module): module
              for module in ALL_EXPERIMENTS}
     if wanted:
         unknown = wanted - set(known)
@@ -49,11 +75,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     for name, module in known.items():
         if wanted and name not in wanted:
             continue
-        result = module.run()
+        result = run_module(module, seed=args.seed)
         result.save_csv(args.output_dir)
-        print(f"== {result.title} ==")
-        print(module.render(result))
-        print()
+        if not args.quiet:
+            print(f"== {result.title} ==")
+            print(module.render(result))
+            print()
     return 0
 
 
@@ -138,6 +165,45 @@ def _cmd_validate(_: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    known = _known_experiments()
+    if args.experiment not in known:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"available: {sorted(known)}", file=sys.stderr)
+        return 2
+    obs.enable_tracing()
+    obs.enable_metrics()
+    result = run_module(known[args.experiment], seed=args.seed)
+    print(f"== profile: {result.title} ==")
+    print()
+    print(obs.TRACER.render_tree())
+    print()
+    print(f"-- top {args.top} hotspots (by self time) --")
+    print(obs.render_hotspots(obs.hotspots(obs.TRACER.roots,
+                                           top_n=args.top)))
+    snapshot = obs.REGISTRY.snapshot()
+    if any(snapshot.values()) and not args.quiet:
+        rendered = obs.REGISTRY.render()
+        if rendered != "(no metrics recorded)":
+            print()
+            print("-- metrics --")
+            print(rendered)
+    return 0
+
+
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by every subcommand."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record spans and write a JSON trace next to the outputs")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect metrics and print the snapshot afterwards")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-experiment renderings")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -145,14 +211,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="MINDFUL implantable-BCI design framework")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the Table 1 designs").set_defaults(
-        func=_cmd_list)
+    list_cmd = sub.add_parser("list", help="list the Table 1 designs")
+    list_cmd.set_defaults(func=_cmd_list)
 
     evaluate = sub.add_parser(
         "evaluate", help="regenerate paper tables/figures")
     evaluate.add_argument("names", nargs="*",
                           help="experiment ids (default: all)")
     evaluate.add_argument("--output-dir", default=str(DEFAULT_OUTPUT_DIR))
+    evaluate.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed threaded into stochastic experiments and recorded "
+             "in each run manifest")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     assess = sub.add_parser("assess",
@@ -173,17 +243,63 @@ def build_parser() -> argparse.ArgumentParser:
     roadmap_cmd.add_argument("--doubling-years", type=float, default=7.0)
     roadmap_cmd.set_defaults(func=_cmd_roadmap)
 
-    sub.add_parser(
+    validate_cmd = sub.add_parser(
         "validate",
-        help="score every paper claim against the regenerated results",
-    ).set_defaults(func=_cmd_validate)
+        help="score every paper claim against the regenerated results")
+    validate_cmd.set_defaults(func=_cmd_validate)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run one experiment under the tracer and print the span "
+             "tree and hotspots")
+    profile_cmd.add_argument("experiment",
+                             help="experiment id (e.g. fig5, frontier)")
+    profile_cmd.add_argument("--top", type=int, default=10,
+                             help="number of hotspots to show")
+    profile_cmd.add_argument("--seed", type=int, default=None)
+    profile_cmd.set_defaults(func=_cmd_profile)
+
+    for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,
+                    validate_cmd, profile_cmd):
+        _add_common_flags(command)
     return parser
+
+
+def _trace_output_path(args: argparse.Namespace) -> Path:
+    base = Path(getattr(args, "output_dir", DEFAULT_OUTPUT_DIR))
+    return base / "trace.json"
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        obs.set_run_seed(seed)
+    trace_on = getattr(args, "trace", False)
+    metrics_on = getattr(args, "metrics", False)
+    if trace_on:
+        obs.enable_tracing()
+    if metrics_on:
+        obs.enable_metrics()
+    try:
+        code = args.func(args)
+        if trace_on:
+            path = _trace_output_path(args)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(obs.TRACER.to_dicts(), indent=2,
+                                       default=str) + "\n")
+            if not getattr(args, "quiet", False):
+                print(f"trace written to {path}")
+        if metrics_on:
+            print("-- metrics --")
+            print(obs.REGISTRY.render())
+        return code
+    finally:
+        obs.disable_all()
+        obs.reset_all()
+        if seed is not None:
+            obs.set_run_seed(None)
 
 
 if __name__ == "__main__":

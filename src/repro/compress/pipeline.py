@@ -24,6 +24,8 @@ from repro.compress.rice import (
     rice_decode,
     rice_encode,
 )
+from repro.obs.metrics import inc, observe
+from repro.obs.trace import span
 
 
 def compression_ratio(raw_bits: int, compressed_bits: int) -> float:
@@ -78,15 +80,23 @@ class NeuralCompressor:
         raw_bits = codes.size * self.sample_bits
         total = 0
         parameters = []
-        for channel in codes:
-            deltas = delta_encode(channel)
-            k = optimal_rice_parameter(deltas)
-            parameters.append(k)
-            total += encoded_length_bits(deltas, k) + self.K_HEADER_BITS
+        with span("compress.analyze", channels=len(codes),
+                  samples=codes.shape[-1]):
+            for channel in codes:
+                deltas = delta_encode(channel)
+                k = optimal_rice_parameter(deltas)
+                parameters.append(k)
+                total += (encoded_length_bits(deltas, k)
+                          + self.K_HEADER_BITS)
+        ratio = compression_ratio(raw_bits, total)
+        inc("compress.blocks_analyzed")
+        inc("compress.raw_bits", raw_bits)
+        inc("compress.compressed_bits", total)
+        observe("compress.ratio", ratio)
         return CompressionResult(
             raw_bits=raw_bits, compressed_bits=total,
             rice_parameters=tuple(parameters),
-            ratio=compression_ratio(raw_bits, total))
+            ratio=ratio)
 
     def encode_channel(self, channel: np.ndarray) -> tuple[str, int]:
         """Encode one channel; returns (bit string, rice parameter)."""

@@ -26,6 +26,8 @@ from repro.accel.schedule import Schedule, best_schedule
 from repro.accel.tech import TECH_45NM, TechnologyNode
 from repro.core.scaling import ScaledSoC
 from repro.dnn.network import Network
+from repro.obs.metrics import inc
+from repro.obs.trace import span
 from repro.units import SAFE_POWER_DENSITY
 
 #: Brain reaction time used as the real-time bound (Section 2, ~0.18 s).
@@ -174,6 +176,7 @@ def evaluate_closed_loop(soc: ScaledSoC,
     if deadline_s <= 0:
         raise ValueError("deadline must be positive")
     stimulation = stimulation or StimulationConfig()
+    inc("closed_loop.evaluations")
     acquisition = window_samples / soc.sampling_hz
     stim_delay = 1.0 / stimulation.pulse_rate_hz
     compute_budget = deadline_s - acquisition - stim_delay
@@ -182,8 +185,10 @@ def evaluate_closed_loop(soc: ScaledSoC,
         decode = math.inf
         comp_power = math.inf
     else:
-        schedule = best_schedule(network.mac_profiles(), compute_budget,
-                                 tech)
+        with span("closed_loop.schedule", soc=soc.name,
+                  n_channels=n_channels):
+            schedule = best_schedule(network.mac_profiles(),
+                                     compute_budget, tech)
         decode = schedule.runtime_s if schedule else math.inf
         comp_power = schedule.power_w(tech) if schedule else math.inf
 

@@ -11,6 +11,8 @@ import numpy as np
 
 from repro.dnn.network import Network
 from repro.dnn.train import sgd_train
+from repro.obs.metrics import inc, observe
+from repro.obs.trace import span
 
 
 class DnnDecoder:
@@ -38,10 +40,15 @@ class DnnDecoder:
     def fit(self, features: np.ndarray, targets: np.ndarray,
             rng: np.random.Generator) -> list[float]:
         """Train the wrapped network; returns (and stores) the loss history."""
-        self.history = sgd_train(self.network, features, targets, rng,
-                                 epochs=self.epochs,
-                                 batch_size=self.batch_size,
-                                 learning_rate=self.learning_rate)
+        with span("decoders.dnn.fit", network=self.network.name,
+                  epochs=self.epochs, samples=len(features)):
+            self.history = sgd_train(self.network, features, targets, rng,
+                                     epochs=self.epochs,
+                                     batch_size=self.batch_size,
+                                     learning_rate=self.learning_rate)
+        inc("decoders.dnn_epochs_trained", len(self.history))
+        if self.history:
+            observe("decoders.dnn_final_loss", self.history[-1])
         return self.history
 
     def decode(self, features: np.ndarray) -> np.ndarray:

@@ -9,6 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import inc
+from repro.obs.trace import span
+
 
 class WienerFilterDecoder:
     """Lagged linear decoder.
@@ -58,10 +61,12 @@ class WienerFilterDecoder:
             raise ValueError("states and observations must align in time")
         if len(states) <= self.n_lags:
             raise ValueError("need more timesteps than lags")
-        design = self._embed(observations)
-        gram = design.T @ design + self.regularization * np.eye(
-            design.shape[1])
-        self.weights = np.linalg.solve(gram, design.T @ states)
+        with span("decoders.wiener.fit", timesteps=len(states),
+                  n_lags=self.n_lags):
+            design = self._embed(observations)
+            gram = design.T @ design + self.regularization * np.eye(
+                design.shape[1])
+            self.weights = np.linalg.solve(gram, design.T @ states)
 
     def decode(self, observations: np.ndarray) -> np.ndarray:
         """Predict states for a feature sequence.
@@ -72,7 +77,10 @@ class WienerFilterDecoder:
         if not self.fitted:
             raise RuntimeError("decoder must be fitted before decoding")
         observations = np.asarray(observations, dtype=float)
-        return self._embed(observations) @ self.weights
+        inc("decoders.wiener_steps", len(observations))
+        with span("decoders.wiener.decode",
+                  timesteps=len(observations)):
+            return self._embed(observations) @ self.weights
 
     def score(self, states: np.ndarray, observations: np.ndarray) -> float:
         """Mean per-dimension correlation between truth and prediction."""

@@ -11,6 +11,8 @@ import numpy as np
 
 from repro.dnn.layers import Layer
 from repro.dnn.macs import LayerMacs
+from repro.obs.metrics import inc, metrics_enabled
+from repro.obs.trace import span
 
 
 class Network:
@@ -30,6 +32,7 @@ class Network:
         self.layers = list(layers)
         self.input_shape = tuple(input_shape)
         self.name = name
+        self._total_macs: int | None = None
         # Validate shape compatibility eagerly so errors surface at build.
         self._shapes = [self.input_shape]
         for layer in self.layers:
@@ -60,8 +63,13 @@ class Network:
             raise ValueError(
                 f"{self.name} expects batches of shape {expected[1:]}, got "
                 f"{x.shape[1:]}")
-        for layer in self.layers:
-            x = layer.forward(x)
+        if metrics_enabled():
+            inc("dnn.forward_passes")
+            inc("dnn.samples_processed", x.shape[0])
+            inc("dnn.macs_executed", self.total_macs * x.shape[0])
+        with span("dnn.forward", network=self.name, batch=x.shape[0]):
+            for layer in self.layers:
+                x = layer.forward(x)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -85,8 +93,12 @@ class Network:
 
     @property
     def total_macs(self) -> int:
-        """Total accumulate steps for one inference."""
-        return sum(p.total_macs for p in self.mac_profiles())
+        """Total accumulate steps for one inference (cached; the layer
+        stack is fixed after construction)."""
+        if self._total_macs is None:
+            self._total_macs = sum(p.total_macs
+                                   for p in self.mac_profiles())
+        return self._total_macs
 
     @property
     def n_parameters(self) -> int:

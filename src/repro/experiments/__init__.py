@@ -2,15 +2,25 @@
 
 Each module exposes ``run() -> ExperimentResult`` and
 ``render(result) -> str``; :func:`run_all` executes the full evaluation
-and writes every CSV under an output directory.
+and writes every CSV under an output directory.  :func:`run_module` is
+the single instrumented entry point both :func:`run_all` and the CLI go
+through: it wraps the driver in an ``experiment.<name>`` span, times it,
+and stamps seed + duration onto the result (which the manifest written
+by ``save_csv`` then records).
 """
 
 from __future__ import annotations
 
+import inspect
+import time
 from pathlib import Path
+from types import ModuleType
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import DEFAULT_OUTPUT_DIR
+from repro.obs.manifest import current_seed
+from repro.obs.metrics import inc
+from repro.obs.trace import span
 from repro.experiments import (  # noqa: F401 (re-exported driver modules)
     fig4,
     frontier,
@@ -33,15 +43,48 @@ ALL_EXPERIMENTS = (table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 EXTENSION_EXPERIMENTS = (frontier,)
 
 
+def experiment_name(module: ModuleType) -> str:
+    """Driver module -> experiment id ("repro.experiments.fig5" ->
+    "fig5")."""
+    return module.__name__.rsplit(".", 1)[-1]
+
+
+def run_module(module: ModuleType,
+               seed: int | None = None) -> ExperimentResult:
+    """Run one driver with automatic tracing and provenance.
+
+    Wraps ``module.run()`` in an ``experiment.<name>`` span, forwards
+    ``seed`` to drivers whose ``run`` accepts one, and stamps
+    seed/duration onto the result so its manifest records them.
+    """
+    name = experiment_name(module)
+    if seed is None:
+        seed = current_seed()
+    kwargs = {}
+    if seed is not None and "seed" in inspect.signature(
+            module.run).parameters:
+        kwargs["seed"] = seed
+    start = time.perf_counter()
+    with span(f"experiment.{name}"):
+        result = module.run(**kwargs)
+    result.duration_s = time.perf_counter() - start
+    result.seed = seed
+    inc("experiments.runs")
+    return result
+
+
 def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
             verbose: bool = False,
-            include_extensions: bool = False) -> list[ExperimentResult]:
-    """Run every experiment, saving one CSV per figure/table.
+            include_extensions: bool = False,
+            seed: int | None = None) -> list[ExperimentResult]:
+    """Run every experiment, saving one CSV (+ manifest) per
+    figure/table.
 
     Args:
         output_dir: destination for the CSV artifacts.
         verbose: print each rendering as it completes.
         include_extensions: also run the extension experiments.
+        seed: RNG seed threaded to stochastic drivers and manifests.
 
     Returns:
         The results in paper order (extensions last).
@@ -49,16 +92,17 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
     modules = ALL_EXPERIMENTS + (EXTENSION_EXPERIMENTS
                                  if include_extensions else ())
     results = []
-    for module in modules:
-        result = module.run()
-        result.save_csv(output_dir)
-        if verbose:
-            print(f"== {result.title} ==")
-            print(module.render(result))
-            print()
-        results.append(result)
+    with span("experiments.run_all", n_experiments=len(modules)):
+        for module in modules:
+            result = run_module(module, seed=seed)
+            result.save_csv(output_dir)
+            if verbose:
+                print(f"== {result.title} ==")
+                print(module.render(result))
+                print()
+            results.append(result)
     return results
 
 
 __all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS",
-           "ExperimentResult", "run_all"]
+           "ExperimentResult", "experiment_name", "run_all", "run_module"]

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.report import DEFAULT_OUTPUT_DIR, write_csv
+from repro.obs.manifest import build_manifest, write_manifest
 
 
 @dataclass
@@ -19,18 +21,41 @@ class ExperimentResult:
         rows: the regenerated data series, one dict per row.
         summary: headline scalars (crossovers, averages) used both by the
             renderers and by EXPERIMENTS.md.
+        seed: RNG seed the run used, if any (recorded in the manifest).
+        duration_s: wall-clock runtime, populated by
+            :func:`repro.experiments.run_module`.
     """
 
     name: str
     title: str
     rows: list[dict[str, Any]]
     summary: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    duration_s: float | None = None
 
     def save_csv(self, output_dir: Path | str = DEFAULT_OUTPUT_DIR,
                  columns: Sequence[str] | None = None) -> Path:
-        """Write the rows to ``<output_dir>/<name>.csv``."""
-        return write_csv(Path(output_dir) / f"{self.name}.csv", self.rows,
+        """Write the rows to ``<output_dir>/<name>.csv``.
+
+        Every save also writes a ``<name>.manifest.json`` next to the CSV
+        recording provenance (git SHA, versions, seed, duration, peak
+        RSS) so the artifact can always be traced back to the code and
+        inputs that produced it.
+        """
+        path = write_csv(Path(output_dir) / f"{self.name}.csv", self.rows,
                          columns)
+        self.save_manifest(output_dir)
+        return path
+
+    def save_manifest(self, output_dir: Path | str = DEFAULT_OUTPUT_DIR,
+                      ) -> Path:
+        """Write ``<output_dir>/<name>.manifest.json`` and return its
+        path."""
+        manifest = build_manifest(
+            self.name, seed=self.seed, duration_s=self.duration_s,
+            extra={"title": self.title, "n_rows": len(self.rows)})
+        return write_manifest(
+            Path(output_dir) / f"{self.name}.manifest.json", manifest)
 
     def summary_lines(self) -> list[str]:
         """Summary entries rendered as 'key: value' lines."""
@@ -38,14 +63,22 @@ class ExperimentResult:
 
 
 def mean_of(values: Sequence[float]) -> float:
-    """Plain mean that tolerates empty input (returns 0.0)."""
+    """Plain mean that tolerates empty input (returns 0.0).
+
+    Raises:
+        ValueError: if any value is NaN — silently averaging NaN would
+            poison every downstream summary; callers with possibly-NaN
+            data should pre-filter via :func:`filter_finite`.
+    """
     values = list(values)
     if not values:
         return 0.0
+    if any(math.isnan(v) for v in values):
+        raise ValueError("mean_of received NaN input; filter first "
+                         "(see filter_finite)")
     return sum(values) / len(values)
 
 
 def filter_finite(mapping: Mapping[str, float]) -> dict[str, float]:
     """Drop non-finite values from a mapping."""
-    import math
     return {k: v for k, v in mapping.items() if math.isfinite(v)}

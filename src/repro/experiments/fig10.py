@@ -20,6 +20,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.trace import span
 
 #: The Fig. 10 x-axis.
 CHANNEL_COUNTS = tuple(range(1024, 7168 + 1, 1024))
@@ -36,31 +37,34 @@ def run() -> ExperimentResult:
     for workload in Workload:
         fits_at_1024[workload.value] = []
         maxima[workload.value] = {}
-        for soc in socs:
-            for n in CHANNEL_COUNTS:
-                point = evaluate_comp_centric(soc, workload, n)
-                ratio = point.power_ratio
-                rows.append({
-                    "soc": soc.name,
-                    "workload": workload.value,
-                    "channels": n,
-                    "power_ratio": ratio if math.isfinite(ratio)
-                    else math.inf,
-                    "fits": point.fits,
-                })
-            if evaluate_comp_centric(soc, workload, 1024).fits:
-                fits_at_1024[workload.value].append(soc.name)
-            maxima[workload.value][soc.name] = max_feasible_channels(
-                soc, workload)
+        with span("fig10.sweep", workload=workload.value,
+                  n_socs=len(socs)):
+            for soc in socs:
+                for n in CHANNEL_COUNTS:
+                    point = evaluate_comp_centric(soc, workload, n)
+                    ratio = point.power_ratio
+                    rows.append({
+                        "soc": soc.name,
+                        "workload": workload.value,
+                        "channels": n,
+                        "power_ratio": ratio if math.isfinite(ratio)
+                        else math.inf,
+                        "fits": point.fits,
+                    })
+                if evaluate_comp_centric(soc, workload, 1024).fits:
+                    fits_at_1024[workload.value].append(soc.name)
+                maxima[workload.value][soc.name] = max_feasible_channels(
+                    soc, workload)
 
     summary = {}
-    for workload in Workload:
-        key = workload.value
-        fitting = fits_at_1024[key]
-        feasible_maxima = [maxima[key][name] for name in fitting]
-        summary[f"{key}_fits_at_1024"] = fitting
-        summary[f"{key}_max_channels"] = maxima[key]
-        summary[f"{key}_avg_max_channels"] = mean_of(feasible_maxima)
+    with span("fig10.summary"):
+        for workload in Workload:
+            key = workload.value
+            fitting = fits_at_1024[key]
+            feasible_maxima = [maxima[key][name] for name in fitting]
+            summary[f"{key}_fits_at_1024"] = fitting
+            summary[f"{key}_max_channels"] = maxima[key]
+            summary[f"{key}_avg_max_channels"] = mean_of(feasible_maxima)
     return ExperimentResult(
         name="fig10",
         title="Fig. 10: P_soc/P_budget with on-implant DNNs",

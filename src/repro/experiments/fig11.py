@@ -14,6 +14,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_bars, format_table
+from repro.obs.trace import span
 
 COLUMNS = ["soc", "workload", "max_channels_full",
            "max_channels_partitioned", "gain_ratio"]
@@ -24,15 +25,17 @@ def run() -> ExperimentResult:
     socs = [scale_to_standard(r) for r in wireless_socs()]
     rows = []
     for workload in Workload:
-        for soc in socs:
-            gain = partitioning_gain(soc, workload)
-            rows.append({
-                "soc": soc.name,
-                "workload": workload.value,
-                "max_channels_full": gain.max_channels_full,
-                "max_channels_partitioned": gain.max_channels_partitioned,
-                "gain_ratio": gain.gain_ratio,
-            })
+        with span("fig11.partition", workload=workload.value):
+            for soc in socs:
+                gain = partitioning_gain(soc, workload)
+                rows.append({
+                    "soc": soc.name,
+                    "workload": workload.value,
+                    "max_channels_full": gain.max_channels_full,
+                    "max_channels_partitioned":
+                        gain.max_channels_partitioned,
+                    "gain_ratio": gain.gain_ratio,
+                })
 
     def gains(workload: str) -> list[float]:
         return [r["gain_ratio"] for r in rows

@@ -13,6 +13,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_bars, format_table
+from repro.obs.trace import span
 
 #: The Fig. 12 x-axis.
 CHANNEL_COUNTS = (2048, 4096, 8192)
@@ -25,24 +26,27 @@ def run() -> ExperimentResult:
     """Regenerate the Fig. 12 grid."""
     socs = [scale_to_standard(r) for r in wireless_socs()]
     rows = []
-    for soc in socs:
-        for n in CHANNEL_COUNTS:
-            for design in evaluate_ladder(soc, n):
-                rows.append({
-                    "soc": soc.name,
-                    "channels": n,
-                    "step": design.step_name,
-                    "active_channels": design.active_channels,
-                    "model_size_pct": design.model_size_fraction * 100.0,
-                })
+    with span("fig12.ladder", n_socs=len(socs)):
+        for soc in socs:
+            for n in CHANNEL_COUNTS:
+                for design in evaluate_ladder(soc, n):
+                    rows.append({
+                        "soc": soc.name,
+                        "channels": n,
+                        "step": design.step_name,
+                        "active_channels": design.active_channels,
+                        "model_size_pct":
+                            design.model_size_fraction * 100.0,
+                    })
 
     summary = {}
-    for n in CHANNEL_COUNTS:
-        for step in ("ChDr", "La+ChDr", "La+ChDr+Tech",
-                     "La+ChDr+Tech+Dense"):
-            values = [r["model_size_pct"] for r in rows
-                      if r["channels"] == n and r["step"] == step]
-            summary[f"avg_model_size_pct_{n}_{step}"] = mean_of(values)
+    with span("fig12.summary"):
+        for n in CHANNEL_COUNTS:
+            for step in ("ChDr", "La+ChDr", "La+ChDr+Tech",
+                         "La+ChDr+Tech+Dense"):
+                values = [r["model_size_pct"] for r in rows
+                          if r["channels"] == n and r["step"] == step]
+                summary[f"avg_model_size_pct_{n}_{step}"] = mean_of(values)
     return ExperimentResult(
         name="fig12",
         title="Fig. 12: feasible MLP size under combined optimizations",

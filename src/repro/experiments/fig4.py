@@ -11,6 +11,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import TABLE1
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.trace import span
 from repro.thermal.budget import assess
 from repro.units import to_mm2, to_mw, to_mw_per_cm2
 
@@ -21,22 +22,25 @@ COLUMNS = ["number", "name", "area_mm2", "power_mw",
 def run() -> ExperimentResult:
     """Scale each Table 1 design to 1024 channels and assess safety."""
     rows = []
-    for record in TABLE1:
-        scaled = scale_to_standard(record)
-        report = assess(scaled.power_w, scaled.area_m2)
-        rows.append({
-            "number": record.number,
-            "name": scaled.name,
-            "area_mm2": to_mm2(scaled.area_m2),
-            "power_mw": to_mw(scaled.power_w),
-            "power_density_mw_cm2": to_mw_per_cm2(report.density_w_m2),
-            "budget_mw": to_mw(report.budget_w),
-            "safe": report.safe,
-        })
-    summary = {
-        "all_safe": all(r["safe"] for r in rows),
-        "max_density_mw_cm2": max(r["power_density_mw_cm2"] for r in rows),
-    }
+    with span("fig4.scale_and_assess", n_designs=len(TABLE1)):
+        for record in TABLE1:
+            scaled = scale_to_standard(record)
+            report = assess(scaled.power_w, scaled.area_m2)
+            rows.append({
+                "number": record.number,
+                "name": scaled.name,
+                "area_mm2": to_mm2(scaled.area_m2),
+                "power_mw": to_mw(scaled.power_w),
+                "power_density_mw_cm2": to_mw_per_cm2(report.density_w_m2),
+                "budget_mw": to_mw(report.budget_w),
+                "safe": report.safe,
+            })
+    with span("fig4.summary"):
+        summary = {
+            "all_safe": all(r["safe"] for r in rows),
+            "max_density_mw_cm2": max(r["power_density_mw_cm2"]
+                                      for r in rows),
+        }
     return ExperimentResult(
         name="fig4",
         title="Fig. 4: power vs area at 1024 channels (all below budget)",

@@ -12,6 +12,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.trace import span
 
 #: The Fig. 6 x-axis.
 CHANNEL_COUNTS = tuple(range(1024, 8192 + 1, 1024))
@@ -22,34 +23,38 @@ COLUMNS = ["soc", "hypothesis", "channels", "sensing_area_fraction"]
 def run() -> ExperimentResult:
     """Regenerate both Fig. 6 panels."""
     rows = []
-    for record in wireless_socs():
-        soc = scale_to_standard(record)
-        for hypothesis in DesignHypothesis:
-            for n in CHANNEL_COUNTS:
-                point = evaluate_comm_centric(soc, n, hypothesis)
-                rows.append({
-                    "soc": soc.name,
-                    "hypothesis": hypothesis.value,
-                    "channels": n,
-                    "sensing_area_fraction": point.sensing_area_fraction,
-                })
+    with span("fig6.sweep", channel_counts=len(CHANNEL_COUNTS)):
+        for record in wireless_socs():
+            soc = scale_to_standard(record)
+            for hypothesis in DesignHypothesis:
+                for n in CHANNEL_COUNTS:
+                    point = evaluate_comm_centric(soc, n, hypothesis)
+                    rows.append({
+                        "soc": soc.name,
+                        "hypothesis": hypothesis.value,
+                        "channels": n,
+                        "sensing_area_fraction":
+                            point.sensing_area_fraction,
+                    })
 
     def fractions(hypothesis: str, n: int) -> list[float]:
         return [r["sensing_area_fraction"] for r in rows
                 if r["hypothesis"] == hypothesis and r["channels"] == n]
 
-    summary = {
-        "naive_flat": all(
-            abs(a - b) < 1e-9
-            for a, b in zip(fractions("naive", 1024),
-                            fractions("naive", 8192))),
-        "high_margin_monotone": all(
-            a <= b + 1e-12
-            for a, b in zip(fractions("high_margin", 1024),
-                            fractions("high_margin", 8192))),
-        "high_margin_mean_at_8192": sum(
-            fractions("high_margin", 8192)) / len(list(wireless_socs())),
-    }
+    with span("fig6.summary"):
+        summary = {
+            "naive_flat": all(
+                abs(a - b) < 1e-9
+                for a, b in zip(fractions("naive", 1024),
+                                fractions("naive", 8192))),
+            "high_margin_monotone": all(
+                a <= b + 1e-12
+                for a, b in zip(fractions("high_margin", 1024),
+                                fractions("high_margin", 8192))),
+            "high_margin_mean_at_8192": sum(
+                fractions("high_margin", 8192))
+            / len(list(wireless_socs())),
+        }
     return ExperimentResult(
         name="fig6",
         title="Fig. 6: sensing area / total area vs channel count",

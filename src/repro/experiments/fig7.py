@@ -20,6 +20,7 @@ from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_plot, format_table
 from repro.link.budget import LinkBudget
+from repro.obs.trace import span
 
 #: Sweep range of the Fig. 7 x-axis.
 CHANNEL_COUNTS = tuple(range(1024, 6144 + 1, 256))
@@ -36,28 +37,32 @@ def run(budget: LinkBudget | None = None) -> ExperimentResult:
     budget = budget or LinkBudget()
     socs = [scale_to_standard(r) for r in wireless_socs()]
     rows = []
-    for soc in socs:
-        for n in CHANNEL_COUNTS:
-            point = evaluate_qam_design(soc, n, budget)
-            rows.append({
-                "soc": soc.name,
-                "channels": n,
-                "bits_per_symbol": point.bits_per_symbol,
-                "min_efficiency_pct": (point.min_efficiency * 100
-                                       if math.isfinite(point.min_efficiency)
-                                       else math.inf),
-                "feasible": point.feasible,
-            })
+    with span("fig7.sweep", n_socs=len(socs),
+              channel_counts=len(CHANNEL_COUNTS)):
+        for soc in socs:
+            for n in CHANNEL_COUNTS:
+                point = evaluate_qam_design(soc, n, budget)
+                rows.append({
+                    "soc": soc.name,
+                    "channels": n,
+                    "bits_per_symbol": point.bits_per_symbol,
+                    "min_efficiency_pct": (
+                        point.min_efficiency * 100
+                        if math.isfinite(point.min_efficiency)
+                        else math.inf),
+                    "feasible": point.feasible,
+                })
 
-    realizable = [
-        soc for soc in socs
-        if evaluate_qam_design(soc, 1024, budget).min_efficiency
-        <= CURRENT_STANDARD_EFFICIENCY
-    ]
-    max_at_20 = {s.name: max_channels_at_efficiency(s, 0.20, budget)
-                 for s in realizable}
-    max_at_100 = {s.name: max_channels_at_efficiency(s, 1.00, budget)
-                  for s in realizable}
+    with span("fig7.multipliers"):
+        realizable = [
+            soc for soc in socs
+            if evaluate_qam_design(soc, 1024, budget).min_efficiency
+            <= CURRENT_STANDARD_EFFICIENCY
+        ]
+        max_at_20 = {s.name: max_channels_at_efficiency(s, 0.20, budget)
+                     for s in realizable}
+        max_at_100 = {s.name: max_channels_at_efficiency(s, 1.00, budget)
+                      for s in realizable}
     summary = {
         "realizable_socs": [s.name for s in realizable],
         "max_channels_at_20pct": max_at_20,

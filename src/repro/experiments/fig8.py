@@ -13,16 +13,19 @@ from repro.dnn.layers import Conv1D, Dense
 from repro.dnn.macs import fmac_conv_example, fmac_matmul_example
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
+from repro.obs.trace import span
 
 COLUMNS = ["case", "mac_ops", "mac_seq", "total_macs"]
 
 
 def run() -> ExperimentResult:
     """Regenerate the Fig. 8 examples and two live layer profiles."""
-    matmul = fmac_matmul_example()
-    conv = fmac_conv_example()
-    dense_live = Dense(3, 4).mac_profile((3,))
-    conv_live = Conv1D(2, 1, kernel_size=4).mac_profile((2, 7))
+    with span("fig8.worked_examples"):
+        matmul = fmac_matmul_example()
+        conv = fmac_conv_example()
+    with span("fig8.live_profiles"):
+        dense_live = Dense(3, 4).mac_profile((3,))
+        conv_live = Conv1D(2, 1, kernel_size=4).mac_profile((2, 7))
     rows = [
         {"case": "Fig. 8 matmul A(4x3) @ B(3x4)",
          "mac_ops": matmul.mac_ops, "mac_seq": matmul.mac_seq,

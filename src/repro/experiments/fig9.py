@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.accel.power import AcceleratorPowerModel, fig9_power_table
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.trace import span
 
 COLUMNS = ["design", "mac_seq", "mac_hw", "mac_ops", "layer_power_mw",
            "pe_power_mw", "pe_fraction"]
@@ -18,7 +19,8 @@ COLUMNS = ["design", "mac_seq", "mac_hw", "mac_ops", "layer_power_mw",
 
 def run(model: AcceleratorPowerModel | None = None) -> ExperimentResult:
     """Regenerate the Fig. 9 table and trend."""
-    rows = fig9_power_table(model)
+    with span("fig9.power_table"):
+        rows = fig9_power_table(model)
     small = [r["pe_fraction"] for r in rows if r["design"] <= 5]
     summary = {
         "pe_fraction_designs_1_5": sum(small) / len(small),

@@ -15,6 +15,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
+from repro.obs.trace import span
 
 #: The short-term scaling target the paper repeatedly discusses (2x).
 TARGET_CHANNELS = 2048
@@ -26,7 +27,8 @@ def run() -> ExperimentResult:
     best_at_target = {}
     for record in wireless_socs():
         soc = scale_to_standard(record)
-        report = explore(soc, target_channels=TARGET_CHANNELS)
+        with span("frontier.explore", soc=soc.name):
+            report = explore(soc, target_channels=TARGET_CHANNELS)
         for outcome in report.outcomes:
             rows.append({
                 "soc": soc.name,

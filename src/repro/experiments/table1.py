@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.socs import TABLE1
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
+from repro.obs.trace import span
 from repro.units import to_mm2, to_mw_per_cm2
 
 COLUMNS = ["number", "name", "ni_type", "channels", "area_mm2",
@@ -15,25 +16,27 @@ COLUMNS = ["number", "name", "ni_type", "channels", "area_mm2",
 def run() -> ExperimentResult:
     """Regenerate Table 1 as structured rows."""
     rows = []
-    for record in TABLE1:
-        rows.append({
-            "number": record.number,
-            "name": record.name,
-            "ni_type": record.ni_type.value,
-            "channels": record.n_channels,
-            "area_mm2": to_mm2(record.area_m2),
-            "power_density_mw_cm2": to_mw_per_cm2(
-                record.power_density_w_m2),
-            "sampling_khz": record.sampling_hz / 1e3,
-            "wireless": record.wireless,
-            "below_budget": record.below_budget,
-        })
-    summary = {
-        "n_designs": len(rows),
-        "n_wireless": sum(1 for r in rows if r["wireless"]),
-        "channel_range": (min(r["channels"] for r in rows),
-                          max(r["channels"] for r in rows)),
-    }
+    with span("table1.rows", n_designs=len(TABLE1)):
+        for record in TABLE1:
+            rows.append({
+                "number": record.number,
+                "name": record.name,
+                "ni_type": record.ni_type.value,
+                "channels": record.n_channels,
+                "area_mm2": to_mm2(record.area_m2),
+                "power_density_mw_cm2": to_mw_per_cm2(
+                    record.power_density_w_m2),
+                "sampling_khz": record.sampling_hz / 1e3,
+                "wireless": record.wireless,
+                "below_budget": record.below_budget,
+            })
+    with span("table1.summary"):
+        summary = {
+            "n_designs": len(rows),
+            "n_wireless": sum(1 for r in rows if r["wireless"]),
+            "channel_range": (min(r["channels"] for r in rows),
+                              max(r["channels"] for r in rows)),
+        }
     return ExperimentResult(name="table1",
                             title="Table 1: implanted SoC designs",
                             rows=rows, summary=summary)

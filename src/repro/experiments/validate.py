@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, run_module
+from repro.obs.metrics import inc
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -125,16 +127,21 @@ def validate_all(claims: tuple[Claim, ...] = CLAIMS) -> list[ClaimResult]:
     """Run all experiments once and score every claim."""
     summaries = {}
     needed = {claim.artifact for claim in claims}
-    for module in ALL_EXPERIMENTS:
-        name = module.__name__.rsplit(".", 1)[-1]
-        if name in needed:
-            summaries[name] = module.run().summary
+    with span("validate.run_experiments", n_experiments=len(needed)):
+        for module in ALL_EXPERIMENTS:
+            name = module.__name__.rsplit(".", 1)[-1]
+            if name in needed:
+                summaries[name] = run_module(module).summary
     results = []
-    for claim in claims:
-        summary = summaries[claim.artifact]
-        results.append(ClaimResult(claim=claim,
-                                   passed=bool(claim.check(summary)),
-                                   measured=claim.measured(summary)))
+    with span("validate.score_claims", n_claims=len(claims)):
+        for claim in claims:
+            summary = summaries[claim.artifact]
+            passed = bool(claim.check(summary))
+            inc("validate.claims_checked")
+            if passed:
+                inc("validate.claims_passed")
+            results.append(ClaimResult(claim=claim, passed=passed,
+                                       measured=claim.measured(summary)))
     return results
 
 

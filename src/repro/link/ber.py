@@ -25,6 +25,8 @@ import math
 from scipy.optimize import brentq
 from scipy.special import erfc
 
+from repro.obs.metrics import inc
+
 
 def q_function(x: float) -> float:
     """Gaussian tail probability Q(x) = P(N(0,1) > x)."""
@@ -96,6 +98,7 @@ def required_ebn0(target_ber: float,
     else:
         raise ValueError(f"unknown scheme {scheme!r}")
 
+    inc("link.ebn0_inversions")
     lo, hi = 1e-6, 1e-6
     # Grow the bracket until the BER at `hi` is below target.
     while curve(hi) > target_ber:

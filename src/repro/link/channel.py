@@ -13,6 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.link.modulation import Modulation
+from repro.obs.manifest import seeded_rng
+from repro.obs.metrics import inc
+from repro.obs.trace import span
 
 
 @dataclass
@@ -47,7 +50,7 @@ class AwgnChannel:
 def measure_ber(scheme: Modulation,
                 ebn0_db: float,
                 n_bits: int,
-                rng: np.random.Generator) -> float:
+                rng: np.random.Generator | None = None) -> float:
     """Empirical BER of a modulation scheme over AWGN.
 
     Args:
@@ -55,7 +58,10 @@ def measure_ber(scheme: Modulation,
         ebn0_db: Eb/N0 operating point in dB.
         n_bits: number of random bits to push through (rounded down to a
             whole number of symbols).
-        rng: random generator for both data and noise.
+        rng: random generator for both data and noise; defaults to a
+            generator honoring the process run seed
+            (:func:`repro.obs.manifest.seeded_rng`, i.e. the CLI's
+            ``--seed`` flag).
 
     Returns:
         Fraction of bit errors observed.
@@ -63,13 +69,21 @@ def measure_ber(scheme: Modulation,
     Raises:
         ValueError: if fewer than one symbol's worth of bits is requested.
     """
+    if rng is None:
+        rng = seeded_rng()
     bits_per_symbol = scheme.bits_per_symbol
     n_bits = (n_bits // bits_per_symbol) * bits_per_symbol
     if n_bits <= 0:
         raise ValueError("need at least one symbol's worth of bits")
-    bits = rng.integers(0, 2, size=n_bits).astype(np.int8)
-    symbols = scheme.modulate(bits)
-    channel = AwgnChannel(ebn0_linear=10.0 ** (ebn0_db / 10.0), rng=rng)
-    received = channel.transmit(symbols)
-    decoded = scheme.demodulate(received)
-    return float(np.mean(decoded != bits))
+    with span("link.measure_ber", ebn0_db=ebn0_db, n_bits=n_bits):
+        bits = rng.integers(0, 2, size=n_bits).astype(np.int8)
+        symbols = scheme.modulate(bits)
+        channel = AwgnChannel(ebn0_linear=10.0 ** (ebn0_db / 10.0),
+                              rng=rng)
+        received = channel.transmit(symbols)
+        decoded = scheme.demodulate(received)
+        n_errors = int(np.count_nonzero(decoded != bits))
+    inc("link.mc_symbols_simulated", len(symbols))
+    inc("link.mc_bits_simulated", n_bits)
+    inc("link.mc_bit_errors", n_errors)
+    return n_errors / n_bits

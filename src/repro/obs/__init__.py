@@ -1,0 +1,79 @@
+"""Observability substrate: span tracing, metrics, and run manifests.
+
+Every layer of the reproduction pipeline reports into this package:
+
+* :mod:`repro.obs.trace` — nested wall-clock spans (``with span("x"):``),
+  thread-safe, exportable as JSON or a rendered text tree.
+* :mod:`repro.obs.metrics` — a process-wide registry of named counters,
+  gauges, and histograms with snapshot/reset semantics.
+* :mod:`repro.obs.manifest` — run provenance (git SHA, interpreter and
+  NumPy versions, RNG seed, duration, peak RSS) written alongside every
+  experiment CSV.
+* :mod:`repro.obs.profile` — hotspot aggregation over recorded spans,
+  backing ``python -m repro profile <experiment>``.
+
+Instrumentation is **disabled by default** and the disabled paths are
+deliberate no-ops (a flag check and a cached sentinel object), so the hot
+paths this package watches stay as fast as the uninstrumented code —
+verified by ``benchmarks/test_bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.manifest import (
+    build_manifest,
+    current_seed,
+    environment_info,
+    seeded_rng,
+    set_run_seed,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+)
+from repro.obs.metrics import disable as disable_metrics
+from repro.obs.metrics import enable as enable_metrics
+from repro.obs.profile import hotspots, render_hotspots
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    Tracer,
+    span,
+    traced,
+    tracing_enabled,
+)
+from repro.obs.trace import disable as disable_tracing
+from repro.obs.trace import enable as enable_tracing
+
+
+def enable_all() -> None:
+    """Turn on both tracing and metrics collection."""
+    enable_tracing()
+    enable_metrics()
+
+
+def disable_all() -> None:
+    """Turn off tracing and metrics (instrumentation becomes no-ops)."""
+    disable_tracing()
+    disable_metrics()
+
+
+def reset_all() -> None:
+    """Drop all recorded spans and metric values."""
+    TRACER.reset()
+    REGISTRY.reset()
+
+
+__all__ = [
+    "REGISTRY", "TRACER", "MetricsRegistry", "Span", "Tracer",
+    "build_manifest", "current_seed", "disable_all", "disable_metrics",
+    "disable_tracing", "enable_all", "enable_metrics", "enable_tracing",
+    "environment_info", "hotspots", "inc", "metrics_enabled", "observe",
+    "render_hotspots", "reset_all", "seeded_rng", "set_gauge",
+    "set_run_seed", "span", "traced", "tracing_enabled", "write_manifest",
+]

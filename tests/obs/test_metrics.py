@@ -1,0 +1,105 @@
+"""Tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    metrics.disable()
+    metrics.REGISTRY.reset()
+    yield
+    metrics.disable()
+    metrics.REGISTRY.reset()
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        assert reg.counter("a") == 3.5
+        assert reg.counter("missing") == 0.0
+
+    def test_gauge_keeps_latest(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", -4.0)
+        assert reg.snapshot()["gauges"]["g"] == -4.0
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 10.0):
+            reg.observe("h", v)
+        summary = reg.snapshot()["histograms"]["h"]
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["sum"] == pytest.approx(16.0)
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_render_lists_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("count.things", 3)
+        reg.set_gauge("gauge.level", 0.5)
+        reg.observe("hist.vals", 2.0)
+        text = reg.render()
+        assert "count.things" in text
+        assert "gauge.level" in text
+        assert "hist.vals" in text
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_thread_safety_of_counters(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 4000
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_record_nothing(self):
+        metrics.inc("a")
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        snap = metrics.REGISTRY.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_enabled_helpers_record_into_global_registry(self):
+        metrics.enable()
+        metrics.inc("a", 2)
+        metrics.observe("h", 1.5)
+        metrics.set_gauge("g", 9.0)
+        snap = metrics.REGISTRY.snapshot()
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["g"] == 9.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_enable_disable_flag(self):
+        assert not metrics.metrics_enabled()
+        metrics.enable()
+        assert metrics.metrics_enabled()
+        metrics.disable()
+        assert not metrics.metrics_enabled()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -65,6 +67,100 @@ class TestRoadmap:
 
     def test_roadmap_unknown(self, capsys):
         assert main(["roadmap", "42"]) == 2
+
+
+class TestValidate:
+    @staticmethod
+    def _fake_results(passed):
+        from repro.experiments.validate import CLAIMS, ClaimResult
+        return [ClaimResult(claim=CLAIMS[0], passed=passed,
+                            measured=1.0)]
+
+    def test_validate_all_pass_exits_zero(self, capsys, monkeypatch):
+        import repro.experiments.validate as validate_mod
+        monkeypatch.setattr(validate_mod, "validate_all",
+                            lambda: self._fake_results(True))
+        assert main(["validate"]) == 0
+        assert "1/1 claims reproduced" in capsys.readouterr().out
+
+    def test_validate_failure_exits_one(self, capsys, monkeypatch):
+        import repro.experiments.validate as validate_mod
+        monkeypatch.setattr(validate_mod, "validate_all",
+                            lambda: self._fake_results(False))
+        assert main(["validate"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_json_with_experiment_span(self, capsys,
+                                                    tmp_path):
+        assert main(["evaluate", "fig8", "--trace",
+                     "--output-dir", str(tmp_path)]) == 0
+        trace_path = tmp_path / "trace.json"
+        assert trace_path.exists()
+        spans = json.loads(trace_path.read_text())
+        names = [s["name"] for s in spans]
+        assert "experiment.fig8" in names
+        assert f"trace written to {trace_path}" in capsys.readouterr().out
+
+    def test_quiet_suppresses_renderings(self, capsys, tmp_path):
+        assert main(["evaluate", "fig8", "--quiet",
+                     "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" not in out
+        assert (tmp_path / "fig8.csv").exists()
+
+    def test_metrics_flag_prints_snapshot(self, capsys, tmp_path):
+        assert main(["evaluate", "fig8", "--quiet", "--metrics",
+                     "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out
+        assert "experiments.runs" in out
+
+    def test_evaluate_writes_manifest_next_to_csv(self, tmp_path):
+        assert main(["evaluate", "fig8", "--quiet",
+                     "--output-dir", str(tmp_path)]) == 0
+        manifest = json.loads(
+            (tmp_path / "fig8.manifest.json").read_text())
+        assert manifest["name"] == "fig8"
+        assert manifest["duration_s"] is not None
+        assert manifest["python"]
+
+    def test_seed_recorded_in_manifest(self, tmp_path):
+        assert main(["evaluate", "fig8", "--quiet", "--seed", "42",
+                     "--output-dir", str(tmp_path)]) == 0
+        manifest = json.loads(
+            (tmp_path / "fig8.manifest.json").read_text())
+        assert manifest["seed"] == 42
+
+    def test_state_resets_between_invocations(self, tmp_path):
+        from repro.obs import manifest as manifest_mod
+        from repro.obs import metrics, trace
+        assert main(["evaluate", "fig8", "--quiet", "--trace",
+                     "--metrics", "--seed", "7",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert not trace.tracing_enabled()
+        assert not metrics.metrics_enabled()
+        assert trace.TRACER.roots == []
+        assert manifest_mod.current_seed() is None
+
+
+class TestProfile:
+    def test_profile_prints_span_tree_and_hotspots(self, capsys):
+        assert main(["profile", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.fig8" in out
+        assert "fig8.worked_examples" in out
+        assert "hotspots" in out
+        # Durations are rendered with a unit suffix.
+        assert " ms" in out or " us" in out or " s" in out
+
+    def test_profile_unknown_experiment(self, capsys):
+        assert main(["profile", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_profile_extension_experiment_is_known(self, capsys):
+        assert main(["profile", "fig8", "--top", "3"]) == 0
 
 
 class TestParser:
