@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.accel.tech import TechnologyNode
 from repro.dnn.macs import LayerMacs
@@ -130,6 +131,20 @@ def best_schedule(profiles: list[LayerMacs],
     if not candidates:
         return None
     return min(candidates, key=lambda s: s.mac_units)
+
+
+@lru_cache(maxsize=4096)
+def cached_best_schedule(profiles: tuple[LayerMacs, ...],
+                         deadline_s: float,
+                         tech: TechnologyNode) -> Schedule | None:
+    """Memoized :func:`best_schedule` over hashable profile tuples.
+
+    The strategy sweeps evaluate the same (workload shape, deadline,
+    technology) triple once per SoC per grid point; profiles, deadlines
+    and technology nodes are all hashable value types, so the schedule
+    search only ever runs once per distinct triple in a process.
+    """
+    return best_schedule(list(profiles), deadline_s, tech)
 
 
 def compute_power_lower_bound(profiles: list[LayerMacs],

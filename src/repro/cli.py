@@ -4,7 +4,8 @@ Commands:
 
 * ``list`` — list the Table 1 designs.
 * ``evaluate [NAMES...]`` — regenerate paper tables/figures (default all),
-  printing each rendering and writing CSVs + run manifests.
+  printing each rendering and writing CSVs + run manifests; ``--jobs N``
+  fans the drivers out to a process pool with identical artifacts.
 * ``assess SOC`` — scale one Table 1 design to 1024 channels and print its
   safety report and headline feasibility numbers.
 * ``explore SOC`` — run the full strategy comparison for one design.
@@ -12,8 +13,9 @@ Commands:
   strategy's frontier.
 * ``validate`` — score every machine-checkable paper claim against the
   regenerated results (exit code 0 when all pass).
-* ``profile EXPERIMENT`` — run one experiment under the span tracer and
-  print the nested span tree plus the top-N hotspots.
+* ``profile EXPERIMENT`` — run one experiment (or ``all``, optionally
+  with ``--jobs``) under the span tracer and print the nested span tree
+  plus the top-N hotspots; worker-process spans are merged into the tree.
 
 Global observability flags (valid after any subcommand):
 
@@ -72,9 +74,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print(f"unknown experiments: {sorted(unknown)}; "
                   f"available: {sorted(known)}", file=sys.stderr)
             return 2
-    for name, module in known.items():
-        if wanted and name not in wanted:
-            continue
+    selected = [(name, module) for name, module in known.items()
+                if not wanted or name in wanted]
+    if args.jobs < 0:
+        print("--jobs must be positive (or 0 for all CPUs)",
+              file=sys.stderr)
+        return 2
+    if args.jobs != 1 and len(selected) > 1:
+        from repro.perf import run_parallel
+        results = run_parallel([module for _, module in selected],
+                               output_dir=args.output_dir, jobs=args.jobs,
+                               seed=args.seed)
+        if not args.quiet:
+            for (_, module), result in zip(selected, results):
+                print(f"== {result.title} ==")
+                print(module.render(result))
+                print()
+        return 0
+    for _, module in selected:
         result = run_module(module, seed=args.seed)
         result.save_csv(args.output_dir)
         if not args.quiet:
@@ -167,14 +184,25 @@ def _cmd_validate(_: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     known = _known_experiments()
-    if args.experiment not in known:
+    if args.experiment != "all" and args.experiment not in known:
         print(f"unknown experiment {args.experiment!r}; "
-              f"available: {sorted(known)}", file=sys.stderr)
+              f"available: {sorted(known)} (or 'all')", file=sys.stderr)
+        return 2
+    if args.jobs < 0:
+        print("--jobs must be positive (or 0 for all CPUs)",
+              file=sys.stderr)
         return 2
     obs.enable_tracing()
     obs.enable_metrics()
-    result = run_module(known[args.experiment], seed=args.seed)
-    print(f"== profile: {result.title} ==")
+    if args.experiment == "all":
+        from repro.experiments import run_all
+        run_all(output_dir=DEFAULT_OUTPUT_DIR, seed=args.seed,
+                jobs=args.jobs)
+        title = f"full evaluation (jobs={args.jobs})"
+    else:
+        result = run_module(known[args.experiment], seed=args.seed)
+        title = result.title
+    print(f"== profile: {title} ==")
     print()
     print(obs.TRACER.render_tree())
     print()
@@ -223,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="RNG seed threaded into stochastic experiments and recorded "
              "in each run manifest")
+    evaluate.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment fan-out (1 = serial, "
+             "0 = all CPUs); artifacts are byte-identical either way "
+             "for a fixed --seed")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     assess = sub.add_parser("assess",
@@ -253,10 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one experiment under the tracer and print the span "
              "tree and hotspots")
     profile_cmd.add_argument("experiment",
-                             help="experiment id (e.g. fig5, frontier)")
+                             help="experiment id (e.g. fig5, frontier) "
+                                  "or 'all' for the full evaluation")
     profile_cmd.add_argument("--top", type=int, default=10,
                              help="number of hotspots to show")
     profile_cmd.add_argument("--seed", type=int, default=None)
+    profile_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes when profiling 'all' (worker spans are "
+             "merged into the printed tree)")
     profile_cmd.set_defaults(func=_cmd_profile)
 
     for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,

@@ -12,9 +12,14 @@ communication power.
 
 from repro.compress.delta import delta_encode, delta_decode
 from repro.compress.rice import (
+    PackedBits,
+    pack_bitstring,
     rice_encode,
     rice_decode,
+    rice_encode_packed,
+    rice_decode_packed,
     optimal_rice_parameter,
+    optimal_rice_parameters,
 )
 from repro.compress.pipeline import (
     CompressionResult,
@@ -25,9 +30,14 @@ from repro.compress.pipeline import (
 __all__ = [
     "delta_encode",
     "delta_decode",
+    "PackedBits",
+    "pack_bitstring",
     "rice_encode",
     "rice_decode",
+    "rice_encode_packed",
+    "rice_decode_packed",
     "optimal_rice_parameter",
+    "optimal_rice_parameters",
     "CompressionResult",
     "NeuralCompressor",
     "compression_ratio",

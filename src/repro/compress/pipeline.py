@@ -19,10 +19,12 @@ import numpy as np
 from repro.accel.tech import TECH_45NM, TechnologyNode
 from repro.compress.delta import delta_decode, delta_encode
 from repro.compress.rice import (
-    encoded_length_bits,
+    PackedBits,
     optimal_rice_parameter,
-    rice_decode,
-    rice_encode,
+    optimal_rice_parameters,
+    pack_bitstring,
+    rice_decode_packed,
+    rice_encode_packed,
 )
 from repro.obs.metrics import inc, observe
 from repro.obs.trace import span
@@ -75,19 +77,21 @@ class NeuralCompressor:
         self.ops_per_sample = ops_per_sample
 
     def analyze(self, codes: np.ndarray) -> CompressionResult:
-        """Measure compressed size of a (channels, samples) block."""
+        """Measure compressed size of a (channels, samples) block.
+
+        All channels are analyzed in one vectorized pass: the optimal
+        Rice parameter and exact encoded size are computed for every
+        channel x candidate-k pair at once (see
+        :func:`repro.compress.rice.optimal_rice_parameters`).
+        """
         codes = np.atleast_2d(np.asarray(codes))
         raw_bits = codes.size * self.sample_bits
-        total = 0
-        parameters = []
         with span("compress.analyze", channels=len(codes),
                   samples=codes.shape[-1]):
-            for channel in codes:
-                deltas = delta_encode(channel)
-                k = optimal_rice_parameter(deltas)
-                parameters.append(k)
-                total += (encoded_length_bits(deltas, k)
-                          + self.K_HEADER_BITS)
+            deltas = delta_encode(codes)
+            ks, bits = optimal_rice_parameters(deltas)
+            parameters = ks.tolist()
+            total = int(bits.sum()) + self.K_HEADER_BITS * len(codes)
         ratio = compression_ratio(raw_bits, total)
         inc("compress.blocks_analyzed")
         inc("compress.raw_bits", raw_bits)
@@ -98,16 +102,24 @@ class NeuralCompressor:
             rice_parameters=tuple(parameters),
             ratio=ratio)
 
-    def encode_channel(self, channel: np.ndarray) -> tuple[str, int]:
-        """Encode one channel; returns (bit string, rice parameter)."""
+    def encode_channel(self, channel: np.ndarray,
+                       ) -> tuple[PackedBits, int]:
+        """Encode one channel; returns (packed bit stream, rice
+        parameter)."""
         deltas = delta_encode(channel)
         k = optimal_rice_parameter(deltas)
-        return rice_encode(deltas, k), k
+        return rice_encode_packed(deltas, k), k
 
-    def decode_channel(self, bits: str, k: int,
+    def decode_channel(self, bits: PackedBits | str, k: int,
                        n_samples: int) -> np.ndarray:
-        """Lossless inverse of :meth:`encode_channel`."""
-        deltas = rice_decode(bits, k, n_samples)
+        """Lossless inverse of :meth:`encode_channel`.
+
+        Accepts either a :class:`~repro.compress.rice.PackedBits` stream
+        (the production format) or a legacy '0'/'1' string.
+        """
+        if isinstance(bits, str):
+            bits = pack_bitstring(bits)
+        deltas = rice_decode_packed(bits, k, n_samples)
         return delta_decode(deltas)
 
     def codec_power_w(self, sample_rate_hz: float, n_channels: int,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.accel.schedule import Schedule, best_schedule
+from repro.accel.schedule import Schedule, cached_best_schedule
 from repro.accel.tech import TECH_45NM, TechnologyNode
 from repro.core.scaling import ScaledSoC
 from repro.dnn.network import Network
@@ -187,8 +187,8 @@ def evaluate_closed_loop(soc: ScaledSoC,
     else:
         with span("closed_loop.schedule", soc=soc.name,
                   n_channels=n_channels):
-            schedule = best_schedule(network.mac_profiles(),
-                                     compute_budget, tech)
+            schedule = cached_best_schedule(tuple(network.mac_profiles()),
+                                            compute_budget, tech)
         decode = schedule.runtime_s if schedule else math.inf
         comp_power = schedule.power_w(tech) if schedule else math.inf
 

@@ -16,11 +16,15 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable
 
-from repro.accel.schedule import Schedule, best_schedule
+import numpy as np
+
+from repro.accel.schedule import Schedule, cached_best_schedule
 from repro.accel.tech import TECH_45NM, TechnologyNode
 from repro.core.scaling import ScaledSoC
+from repro.dnn.macs import LayerMacs
 from repro.dnn.models import build_speech_dncnn, build_speech_mlp
 from repro.dnn.network import Network
 from repro.units import SAFE_POWER_DENSITY
@@ -43,6 +47,21 @@ _BUILDERS: dict[Workload, Callable[[int], Network]] = {
 def build_workload(workload: Workload, n_channels: int) -> Network:
     """Shape-only network for a workload at a channel count."""
     return _BUILDERS[workload](n_channels)
+
+
+@lru_cache(maxsize=4096)
+def _workload_profile(workload: Workload, n_channels: int,
+                      ) -> tuple[tuple[LayerMacs, ...], int, int, int]:
+    """(MAC profiles, output values, total MACs, parameters) for a
+    workload at a channel count.
+
+    The shape-only networks are deterministic in (workload, n), so the
+    sweeps share one build per point instead of rebuilding the layer
+    stack for every SoC on the grid.
+    """
+    net = build_workload(workload, n_channels)
+    return (tuple(net.mac_profiles()), net.output_values,
+            net.total_macs, net.n_parameters)
 
 
 @dataclass(frozen=True)
@@ -109,12 +128,19 @@ def evaluate_comp_centric(soc: ScaledSoC,
     """
     if n_channels <= 0:
         raise ValueError("channel count must be positive")
-    net = network or build_workload(workload, n_channels)
+    if network is None:
+        profiles, output_values, total_macs, n_parameters = (
+            _workload_profile(workload, n_channels))
+    else:
+        profiles = tuple(network.mac_profiles())
+        output_values = network.output_values
+        total_macs = network.total_macs
+        n_parameters = network.n_parameters
     deadline = 1.0 / soc.sampling_hz
-    schedule = best_schedule(net.mac_profiles(), deadline, tech)
+    schedule = cached_best_schedule(profiles, deadline, tech)
     comp_power = schedule.power_w(tech) if schedule else math.inf
 
-    comm_power = (net.output_values * soc.sample_bits * soc.sampling_hz
+    comm_power = (output_values * soc.sample_bits * soc.sampling_hz
                   * soc.implied_energy_per_bit_j)
     area = soc.sensing_area_m2(n_channels) + soc.non_sensing_area_m2
     return CompCentricPoint(
@@ -126,8 +152,8 @@ def evaluate_comp_centric(soc: ScaledSoC,
         comm_power_w=comm_power,
         budget_w=area * SAFE_POWER_DENSITY,
         schedule=schedule,
-        total_macs=net.total_macs,
-        model_parameters=net.n_parameters,
+        total_macs=total_macs,
+        model_parameters=n_parameters,
     )
 
 
@@ -141,28 +167,51 @@ def sweep_comp_centric(soc: ScaledSoC,
             for n in channel_counts]
 
 
+def power_ratio_curve(soc: ScaledSoC,
+                      workload: Workload,
+                      channel_counts: np.ndarray,
+                      tech: TechnologyNode = TECH_45NM) -> np.ndarray:
+    """P_soc/P_budget over a channel grid (the Fig. 10 y-axis).
+
+    Network shapes and MAC schedules are memoized
+    (:func:`_workload_profile`,
+    :func:`repro.accel.schedule.cached_best_schedule`), so sweeping the
+    same grid across several SoCs costs one schedule search per distinct
+    (workload, n, deadline, technology) rather than one per point.
+    """
+    return np.array([
+        evaluate_comp_centric(soc, workload, int(n), tech).power_ratio
+        for n in np.asarray(channel_counts).tolist()])
+
+
 def max_feasible_channels(soc: ScaledSoC,
                           workload: Workload,
                           tech: TechnologyNode = TECH_45NM,
                           step: int = 64,
-                          n_limit: int = 16384) -> int:
+                          n_limit: int = 16384,
+                          chunk: int = 16) -> int:
     """Largest n at which the workload still fits the power budget.
 
     Scans upward in ``step`` increments from ``step`` (the feasibility
     frontier is effectively monotone — compute power grows quadratically
     while the budget grows linearly — but depth changes make it only
-    piecewise smooth, so scanning beats bisection for robustness).
+    piecewise smooth, so scanning beats bisection for robustness).  The
+    grid is evaluated in ``chunk``-sized batches through
+    :func:`power_ratio_curve`, stopping at the first failure after a
+    feasible point exactly like the historical scalar scan.
 
     Returns:
         The maximum feasible channel count, or 0 when the workload never
         fits this SoC.
     """
+    grid = np.arange(step, n_limit + 1, step, dtype=np.int64)
     best = 0
-    n = step
-    while n <= n_limit:
-        if evaluate_comp_centric(soc, workload, n, tech).fits:
-            best = n
-        elif best:
-            break
-        n += step
+    for start in range(0, grid.size, chunk):
+        block = grid[start:start + chunk]
+        fits = power_ratio_curve(soc, workload, block, tech) <= 1.0
+        for n, ok in zip(block.tolist(), fits.tolist()):
+            if ok:
+                best = n
+            elif best:
+                return best
     return best

@@ -19,7 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.accel.tech import TECH_45NM, TechnologyNode
+from repro.core.frontier import grid_frontier
 from repro.core.scaling import ScaledSoC
 from repro.units import SAFE_POWER_DENSITY
 
@@ -130,6 +133,30 @@ def evaluate_event_stream(soc: ScaledSoC, n_channels: int,
     )
 
 
+def power_ratio_curve(soc: ScaledSoC,
+                      channel_counts: np.ndarray,
+                      config: EventStreamConfig | None = None,
+                      tech: TechnologyNode = TECH_45NM) -> np.ndarray:
+    """Vectorized P_soc/P_budget of the event dataflow over a channel grid.
+
+    Numerically identical, point for point, to
+    ``evaluate_event_stream(soc, n, config, tech).power_ratio``.
+    """
+    config = config or EventStreamConfig()
+    n = np.asarray(channel_counts, dtype=np.float64)
+    if n.size and float(n.min()) <= 0:
+        raise ValueError("channel count must be positive")
+    event_rate = n * config.spike_rate_hz * config.bits_per_event
+    comm_power = event_rate * soc.implied_energy_per_bit_j
+    detector_power = (config.detector_ops_per_sample * soc.sampling_hz
+                      * n * tech.energy_per_mac_j)
+    sensing_power = soc.sensing_power_anchor_w * n / soc.n_channels
+    area = (soc.sensing_area_anchor_m2 * n / soc.n_channels
+            + soc.non_sensing_area_m2)
+    budget = area * SAFE_POWER_DENSITY
+    return (sensing_power + detector_power + comm_power) / budget
+
+
 def max_channels_event_stream(soc: ScaledSoC,
                               config: EventStreamConfig | None = None,
                               tech: TechnologyNode = TECH_45NM,
@@ -137,25 +164,15 @@ def max_channels_event_stream(soc: ScaledSoC,
                               n_limit: int = 1 << 20) -> int:
     """Largest n the event dataflow sustains within the budget.
 
-    All terms are linear in n, so feasibility flips exactly once; the scan
-    uses geometric doubling then a linear backoff for speed at the very
-    large limits event streaming reaches.
+    All terms are linear in n, so feasibility is a prefix property; the
+    exact integer frontier is located by vectorized grid narrowing over
+    :func:`power_ratio_curve` (``step`` is retained for API compatibility
+    — the result is no longer quantized to it).
     """
-    if not evaluate_event_stream(soc, step, config, tech).fits:
-        return 0
-    n = step
-    while n < n_limit and evaluate_event_stream(soc, n * 2, config,
-                                                tech).fits:
-        n *= 2
-    hi = min(n * 2, n_limit)
-    lo = n
-    while hi - lo > step:
-        mid = (lo + hi) // 2
-        if evaluate_event_stream(soc, mid, config, tech).fits:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    del step  # legacy granularity knob; the frontier is now exact
+    config = config or EventStreamConfig()
+    return grid_frontier(
+        lambda n: power_ratio_curve(soc, n, config, tech), n_limit)
 
 
 def break_even_spike_rate_hz(soc: ScaledSoC,

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.accel.tech import TECH_45NM, TechnologyNode
 from repro.core.comm_centric import (
     DesignHypothesis,
@@ -32,6 +34,7 @@ from repro.core.event_stream import (
     evaluate_event_stream,
     max_channels_event_stream,
 )
+from repro.core.frontier import grid_frontier
 from repro.core.partitioning import (
     evaluate_partitioned,
     max_feasible_channels_partitioned,
@@ -91,40 +94,43 @@ class ExplorationReport:
         return {o.strategy: o.max_channels for o in self.outcomes}
 
 
-def _compressed_stream_ratio(soc: ScaledSoC, n_channels: int,
+def _compressed_stream_ratio(soc: ScaledSoC, n_channels,
                              compression_ratio: float,
-                             codec_power_w_per_channel: float) -> float:
-    """Power ratio of raw streaming with a lossless codec in front."""
-    comm = (soc.sensing_throughput_bps(n_channels) / compression_ratio
-            * soc.implied_energy_per_bit_j)
-    codec = codec_power_w_per_channel * n_channels
-    area = soc.sensing_area_m2(n_channels) + soc.non_sensing_area_m2
+                             codec_power_w_per_channel: float):
+    """Power ratio of raw streaming with a lossless codec in front.
+
+    Accepts a scalar channel count or an ndarray grid; the array form is
+    numerically identical to the scalar one, point for point.
+    """
+    n = np.asarray(n_channels, dtype=np.float64)
+    throughput = float(soc.sample_bits) * n * soc.sampling_hz
+    comm = throughput / compression_ratio * soc.implied_energy_per_bit_j
+    codec = codec_power_w_per_channel * n
+    sensing_power = soc.sensing_power_anchor_w * n / soc.n_channels
+    area = (soc.sensing_area_anchor_m2 * n / soc.n_channels
+            + soc.non_sensing_area_m2)
     budget = area * SAFE_POWER_DENSITY
-    return (soc.sensing_power_w(n_channels) + comm + codec) / budget
+    ratio = (sensing_power + comm + codec) / budget
+    return ratio if ratio.ndim else float(ratio)
 
 
 def _max_channels_compressed(soc: ScaledSoC, compression_ratio: float,
                              codec_power_w_per_channel: float,
                              step: int = 256,
                              n_limit: int = 1 << 18) -> int:
-    """Frontier of the compressed-streaming strategy (all-linear terms)."""
-    if _compressed_stream_ratio(soc, step, compression_ratio,
-                                codec_power_w_per_channel) > 1.0:
-        return 0
-    n = step
-    while n < n_limit and _compressed_stream_ratio(
-            soc, n * 2, compression_ratio,
-            codec_power_w_per_channel) <= 1.0:
-        n *= 2
-    lo, hi = n, min(n * 2, n_limit)
-    while hi - lo > step:
-        mid = (lo + hi) // 2
-        if _compressed_stream_ratio(soc, mid, compression_ratio,
-                                    codec_power_w_per_channel) <= 1.0:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    """Exact frontier of the compressed-streaming strategy.
+
+    All terms are linear in n, so feasibility is a prefix property and
+    the frontier is located by vectorized grid narrowing.  The curve is
+    never evaluated beyond ``n_limit`` (the old doubling probe tested
+    ``n * 2`` past the limit before clamping); ``step`` is retained for
+    API compatibility — the result is no longer quantized to it.
+    """
+    del step  # legacy granularity knob; the frontier is now exact
+    return grid_frontier(
+        lambda n: _compressed_stream_ratio(soc, n, compression_ratio,
+                                           codec_power_w_per_channel),
+        n_limit)
 
 
 def explore(soc: ScaledSoC,

@@ -24,11 +24,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.accel.schedule import Schedule, best_schedule
+import numpy as np
+
+from repro.accel.schedule import Schedule, cached_best_schedule
 from repro.accel.tech import TECH_45NM, TechnologyNode
 from repro.core.comp_centric import Workload, build_workload
 from repro.core.scaling import ScaledSoC
+from repro.dnn.macs import LayerMacs
 from repro.dnn.network import Network
 from repro.units import SAFE_POWER_DENSITY
 
@@ -104,16 +108,44 @@ class PartitionedPoint:
         return self.power_ratio <= 1.0
 
 
-def _implant_cost(soc: ScaledSoC, net: Network, transmitted: int,
-                  tech: TechnologyNode,
+def _implant_cost(soc: ScaledSoC, profiles: tuple[LayerMacs, ...],
+                  transmitted: int, tech: TechnologyNode,
                   ) -> tuple[float, float, Schedule | None]:
     """(comp_power, comm_power, schedule) for an on-implant sub-network."""
     deadline = 1.0 / soc.sampling_hz
-    schedule = best_schedule(net.mac_profiles(), deadline, tech)
+    schedule = cached_best_schedule(profiles, deadline, tech)
     comp = schedule.power_w(tech) if schedule else math.inf
     comm = (transmitted * soc.sample_bits * soc.sampling_hz
             * soc.implied_energy_per_bit_j)
     return comp, comm, schedule
+
+
+def _network_candidates(net: Network, max_values: int,
+                        ) -> tuple[tuple[int | None, tuple[LayerMacs, ...],
+                                         int], ...]:
+    """(split, head MAC profiles, transmitted values) for every candidate
+    partition of a network — "no split" first, then admissible splits in
+    layer order."""
+    sizes = net.compute_layer_output_values()
+    candidates = [(None, tuple(net.mac_profiles()), net.output_values)]
+    for split in admissible_splits(net, max_values=max_values):
+        candidates.append((split, tuple(net.head(split).mac_profiles()),
+                           sizes[split - 1]))
+    return tuple(candidates)
+
+
+@lru_cache(maxsize=4096)
+def _split_candidates(workload: Workload, n_channels: int, max_values: int,
+                      ) -> tuple[tuple[int | None, tuple[LayerMacs, ...],
+                                       int], ...]:
+    """Cached candidate partitions for a built workload.
+
+    Head sub-networks are rebuilt per (workload, n) only once per
+    process; the frontier scans then reuse the profile tuples across
+    every SoC on the grid.
+    """
+    net = build_workload(workload, n_channels)
+    return _network_candidates(net, max_values)
 
 
 def evaluate_partitioned(soc: ScaledSoC,
@@ -143,23 +175,24 @@ def evaluate_partitioned(soc: ScaledSoC,
         raise ValueError("channel count must be positive")
     if rule not in ("optimal", "earliest"):
         raise ValueError(f"unknown partitioning rule {rule!r}")
-    net = network or build_workload(workload, n_channels)
-    sizes = net.compute_layer_output_values()
+    if network is None:
+        all_candidates = _split_candidates(workload, n_channels, max_values)
+    else:
+        all_candidates = _network_candidates(network, max_values)
 
     if rule == "earliest":
-        first = find_split_layer(net, max_values=max_values)
-        candidates = [first] if first is not None else [None]
+        # The paper's rule: the earliest admissible split, or no split
+        # when nothing but the final layer fits the transmission budget.
+        splits = [c for c in all_candidates if c[0] is not None]
+        candidates = splits[:1] if splits else [all_candidates[0]]
     else:
-        candidates = [None] + admissible_splits(net, max_values=max_values)
+        candidates = list(all_candidates)
 
     best: tuple[float, int | None, int, float, float,
                 Schedule | None] | None = None
-    for split in candidates:
-        if split is None:
-            sub_net, transmitted = net, net.output_values
-        else:
-            sub_net, transmitted = net.head(split), sizes[split - 1]
-        comp, comm, schedule = _implant_cost(soc, sub_net, transmitted, tech)
+    for split, profiles, transmitted in candidates:
+        comp, comm, schedule = _implant_cost(soc, profiles, transmitted,
+                                             tech)
         total = comp + comm
         if best is None or total < best[0]:
             best = (total, split, transmitted, comp, comm, schedule)
@@ -181,21 +214,47 @@ def evaluate_partitioned(soc: ScaledSoC,
     )
 
 
+def power_ratio_curve(soc: ScaledSoC,
+                      workload: Workload,
+                      channel_counts: np.ndarray,
+                      tech: TechnologyNode = TECH_45NM,
+                      rule: str = "optimal") -> np.ndarray:
+    """P_soc/P_budget of the partitioned design over a channel grid.
+
+    Split candidates and MAC schedules are memoized, so sweeping the same
+    grid across several SoCs reuses the network builds and schedule
+    searches instead of repeating them per point.
+    """
+    return np.array([
+        evaluate_partitioned(soc, workload, int(n), tech,
+                             rule=rule).power_ratio
+        for n in np.asarray(channel_counts).tolist()])
+
+
 def max_feasible_channels_partitioned(soc: ScaledSoC,
                                       workload: Workload,
                                       tech: TechnologyNode = TECH_45NM,
                                       step: int = 64,
                                       n_limit: int = 16384,
-                                      rule: str = "optimal") -> int:
-    """Largest n at which the partitioned workload fits the budget."""
+                                      rule: str = "optimal",
+                                      chunk: int = 16) -> int:
+    """Largest n at which the partitioned workload fits the budget.
+
+    The grid is evaluated in ``chunk``-sized batches through
+    :func:`power_ratio_curve`, stopping at the first failure after a
+    feasible point exactly like the historical scalar scan.
+    """
+    grid = np.arange(step, n_limit + 1, step, dtype=np.int64)
     best = 0
-    n = step
-    while n <= n_limit:
-        if evaluate_partitioned(soc, workload, n, tech, rule=rule).fits:
-            best = n
-        elif best:
-            break
-        n += step
+    for start in range(0, grid.size, chunk):
+        block = grid[start:start + chunk]
+        fits = power_ratio_curve(soc, workload, block, tech,
+                                 rule=rule) <= 1.0
+        for n, ok in zip(block.tolist(), fits.tolist()):
+            if ok:
+                best = n
+            elif best:
+                return best
     return best
 
 

@@ -18,9 +18,10 @@ from types import ModuleType
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import DEFAULT_OUTPUT_DIR
-from repro.obs.manifest import current_seed
+from repro.obs.manifest import current_seed, set_run_seed
 from repro.obs.metrics import inc
 from repro.obs.trace import span
+from repro.perf.seeds import derive_driver_seed
 from repro.experiments import (  # noqa: F401 (re-exported driver modules)
     fig4,
     frontier,
@@ -53,22 +54,38 @@ def run_module(module: ModuleType,
                seed: int | None = None) -> ExperimentResult:
     """Run one driver with automatic tracing and provenance.
 
-    Wraps ``module.run()`` in an ``experiment.<name>`` span, forwards
-    ``seed`` to drivers whose ``run`` accepts one, and stamps
+    Wraps ``module.run()`` in an ``experiment.<name>`` span and stamps
     seed/duration onto the result so its manifest records them.
+
+    ``seed`` (or, when omitted, the process run seed) is the *base* run
+    seed; the driver actually runs under a per-driver seed derived from
+    it (:func:`repro.perf.seeds.derive_driver_seed`) — forwarded to
+    drivers whose ``run`` accepts a ``seed`` and installed as the process
+    run seed for the driver's duration so ``seeded_rng()`` users see it
+    too.  Deriving per driver rather than sharing one stream is what
+    makes serial and parallel (``run_all(jobs=N)``) runs byte-identical.
     """
     name = experiment_name(module)
     if seed is None:
         seed = current_seed()
+    driver_seed = derive_driver_seed(seed, name)
     kwargs = {}
-    if seed is not None and "seed" in inspect.signature(
+    if driver_seed is not None and "seed" in inspect.signature(
             module.run).parameters:
-        kwargs["seed"] = seed
-    start = time.perf_counter()
-    with span(f"experiment.{name}"):
-        result = module.run(**kwargs)
-    result.duration_s = time.perf_counter() - start
+        kwargs["seed"] = driver_seed
+    previous_seed = current_seed()
+    if driver_seed is not None:
+        set_run_seed(driver_seed)
+    try:
+        start = time.perf_counter()
+        with span(f"experiment.{name}"):
+            result = module.run(**kwargs)
+        result.duration_s = time.perf_counter() - start
+    finally:
+        if driver_seed is not None:
+            set_run_seed(previous_seed)
     result.seed = seed
+    result.derived_seed = driver_seed
     inc("experiments.runs")
     return result
 
@@ -76,7 +93,8 @@ def run_module(module: ModuleType,
 def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
             verbose: bool = False,
             include_extensions: bool = False,
-            seed: int | None = None) -> list[ExperimentResult]:
+            seed: int | None = None,
+            jobs: int = 1) -> list[ExperimentResult]:
     """Run every experiment, saving one CSV (+ manifest) per
     figure/table.
 
@@ -85,12 +103,26 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
         verbose: print each rendering as it completes.
         include_extensions: also run the extension experiments.
         seed: RNG seed threaded to stochastic drivers and manifests.
+        jobs: worker processes; above 1 the drivers fan out to a process
+            pool (:func:`repro.perf.run_parallel`) with identical
+            artifacts — per-driver seed derivation keeps the CSVs
+            byte-identical to a serial run of the same seed.
 
     Returns:
         The results in paper order (extensions last).
     """
     modules = ALL_EXPERIMENTS + (EXTENSION_EXPERIMENTS
                                  if include_extensions else ())
+    if jobs != 1:
+        from repro.perf.parallel import run_parallel
+        results = run_parallel(modules, output_dir=output_dir, jobs=jobs,
+                               seed=seed)
+        if verbose:
+            for module, result in zip(modules, results):
+                print(f"== {result.title} ==")
+                print(module.render(result))
+                print()
+        return results
     results = []
     with span("experiments.run_all", n_experiments=len(modules)):
         for module in modules:

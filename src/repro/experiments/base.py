@@ -21,7 +21,11 @@ class ExperimentResult:
         rows: the regenerated data series, one dict per row.
         summary: headline scalars (crossovers, averages) used both by the
             renderers and by EXPERIMENTS.md.
-        seed: RNG seed the run used, if any (recorded in the manifest).
+        seed: base RNG seed of the run, if any (recorded in the
+            manifest).
+        derived_seed: the per-driver seed actually installed for the run
+            (:func:`repro.perf.seeds.derive_driver_seed` of ``seed`` and
+            ``name``), populated by :func:`repro.experiments.run_module`.
         duration_s: wall-clock runtime, populated by
             :func:`repro.experiments.run_module`.
     """
@@ -31,6 +35,7 @@ class ExperimentResult:
     rows: list[dict[str, Any]]
     summary: dict[str, Any] = field(default_factory=dict)
     seed: int | None = None
+    derived_seed: int | None = None
     duration_s: float | None = None
 
     def save_csv(self, output_dir: Path | str = DEFAULT_OUTPUT_DIR,
@@ -53,7 +58,8 @@ class ExperimentResult:
         path."""
         manifest = build_manifest(
             self.name, seed=self.seed, duration_s=self.duration_s,
-            extra={"title": self.title, "n_rows": len(self.rows)})
+            extra={"title": self.title, "n_rows": len(self.rows),
+                   "derived_seed": self.derived_seed})
         return write_manifest(
             Path(output_dir) / f"{self.name}.manifest.json", manifest)
 

@@ -44,6 +44,7 @@ from repro.obs.trace import (
     Span,
     Tracer,
     span,
+    span_from_dict,
     traced,
     tracing_enabled,
 )
@@ -75,5 +76,6 @@ __all__ = [
     "disable_tracing", "enable_all", "enable_metrics", "enable_tracing",
     "environment_info", "hotspots", "inc", "metrics_enabled", "observe",
     "render_hotspots", "reset_all", "seeded_rng", "set_gauge",
-    "set_run_seed", "span", "traced", "tracing_enabled", "write_manifest",
+    "set_run_seed", "span", "span_from_dict", "traced", "tracing_enabled",
+    "write_manifest",
 ]

@@ -32,8 +32,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable
 
-__all__ = ["Span", "Tracer", "TRACER", "span", "traced", "enable",
-           "disable", "tracing_enabled"]
+__all__ = ["Span", "Tracer", "TRACER", "span", "span_from_dict", "traced",
+           "enable", "disable", "tracing_enabled"]
 
 
 class Span:
@@ -177,6 +177,16 @@ class Tracer:
             self._roots.clear()
         self._local = threading.local()
 
+    def adopt(self, roots: Iterable[Span]) -> None:
+        """Append externally recorded root spans to this tracer's forest.
+
+        Used by the parallel experiment engine to merge span trees
+        rebuilt (via :func:`span_from_dict`) from worker-process exports
+        into the parent trace.
+        """
+        with self._lock:
+            self._roots.extend(roots)
+
     @property
     def roots(self) -> list[Span]:
         """Completed top-level spans, in completion order."""
@@ -264,6 +274,27 @@ def span(name: str, **attrs: Any):
     if not _enabled:
         return _NOOP
     return Span(name, attrs, TRACER)
+
+
+def span_from_dict(record: dict[str, Any],
+                   tracer: Tracer | None = None) -> Span:
+    """Rebuild a :class:`Span` subtree from its :meth:`Span.to_dict` form.
+
+    The inverse of the JSON export, up to the information the export
+    keeps: absolute start/end times are not preserved (only durations),
+    so rebuilt spans report the right ``duration_s`` / ``self_time_s``
+    but are not aligned on the original clock.  Used to adopt spans
+    recorded in worker processes into the parent tracer
+    (:meth:`Tracer.adopt`).
+    """
+    node = Span(record["name"], dict(record.get("attrs", {})),
+                tracer or TRACER)
+    node.start_s = 0.0
+    node.end_s = float(record.get("duration_s", 0.0))
+    node.thread_name = record.get("thread", node.thread_name)
+    node.children = [span_from_dict(child, tracer)
+                     for child in record.get("children", [])]
+    return node
 
 
 def traced(name: str | None = None) -> Callable:

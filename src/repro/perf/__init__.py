@@ -1,0 +1,23 @@
+"""Performance engine: parallel experiment execution and seed derivation.
+
+* :mod:`repro.perf.parallel` — fan the experiment drivers out to a
+  process pool (``run_all(jobs=N)`` / ``python -m repro evaluate
+  --jobs N``), merging each worker's spans and metrics back into the
+  parent's observability state.
+* :mod:`repro.perf.seeds` — deterministic per-driver seed derivation,
+  the mechanism that makes serial and parallel runs of the same base
+  seed byte-identical.
+
+The vectorized hot kernels themselves live with the code they speed up
+(``repro.compress.rice``, ``repro.core.frontier``,
+``repro.link.channel.measure_ber_sweep``, ``repro.thermal.grid``);
+``benchmarks/test_bench_perf.py`` records their before/after numbers in
+``BENCH_perf.json``.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.parallel import resolve_jobs, run_parallel
+from repro.perf.seeds import derive_driver_seed
+
+__all__ = ["derive_driver_seed", "resolve_jobs", "run_parallel"]

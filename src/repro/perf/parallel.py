@@ -1,0 +1,151 @@
+"""Process-pool parallel experiment engine.
+
+:func:`run_parallel` fans experiment drivers out to a
+``ProcessPoolExecutor`` (fork start method where available, so workers
+inherit the imported interpreter state instead of re-importing it).  Each
+worker:
+
+* runs exactly one driver through the same
+  :func:`repro.experiments.run_module` path the serial engine uses, so
+  the per-driver seed derivation (:mod:`repro.perf.seeds`) — and hence
+  every random draw — matches the serial run exactly;
+* writes that driver's CSV + manifest itself (artifact filenames are
+  per-driver, so concurrent writers never collide);
+* exports its recorded span forest and metrics state back to the parent,
+  which adopts the spans into the process-wide tracer
+  (:meth:`~repro.obs.trace.Tracer.adopt`) and folds the metrics into the
+  global registry (:meth:`~repro.obs.metrics.MetricsRegistry.merge_state`).
+
+The contract tested in ``tests/perf/test_parallel.py``: for a fixed seed,
+``run_all(jobs=4)`` produces CSVs byte-identical to the serial run.
+
+Experiment modules are addressed by name across the process boundary
+(module objects don't pickle); the worker resolves the name back to the
+driver module before running it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.obs import manifest as _manifest
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.trace import span, span_from_dict
+
+__all__ = ["run_parallel", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means one worker per
+    CPU; negative values are rejected."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be positive (or 0 for all CPUs)")
+    return jobs
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where the platform offers it (cheap start, inherited
+    imports); the default start method otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_one(name: str, seed: int | None, output_dir: str,
+             trace_on: bool, metrics_on: bool) -> dict[str, Any]:
+    """Worker-side entry: run one driver, save its CSV, export obs state.
+
+    Runs in the worker process.  Workers are reused across tasks (and,
+    under fork, inherit the parent's obs state), so each task starts by
+    resetting the tracer and registry to get a clean per-driver window.
+    """
+    import importlib
+
+    from repro.experiments import run_module
+
+    _trace.TRACER.reset()
+    _metrics.REGISTRY.reset()
+    if trace_on:
+        _trace.enable()
+    else:
+        _trace.disable()
+    if metrics_on:
+        _metrics.enable()
+    else:
+        _metrics.disable()
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = run_module(module, seed=seed)
+    result.save_csv(output_dir)
+    return {
+        "name": name,
+        "pid": os.getpid(),
+        "result": result,
+        "spans": _trace.TRACER.to_dicts() if trace_on else [],
+        "metrics": (_metrics.REGISTRY.export_state()
+                    if metrics_on else None),
+    }
+
+
+def _merge_payload(payload: dict[str, Any]) -> None:
+    """Fold one worker's span forest and metrics into the parent's
+    process-wide tracer and registry."""
+    if payload["spans"]:
+        roots = []
+        for record in payload["spans"]:
+            root = span_from_dict(record)
+            root.attrs.setdefault("worker_pid", payload["pid"])
+            roots.append(root)
+        _trace.TRACER.adopt(roots)
+    if payload["metrics"] is not None:
+        _metrics.REGISTRY.merge_state(payload["metrics"])
+
+
+def run_parallel(modules: Sequence[Any],
+                 output_dir: Path | str,
+                 jobs: int | None = None,
+                 seed: int | None = None) -> list[Any]:
+    """Run experiment drivers across a process pool.
+
+    Args:
+        modules: driver modules (each with ``run``/``render``), as in
+            :data:`repro.experiments.ALL_EXPERIMENTS`.
+        output_dir: destination for the per-driver CSVs + manifests
+            (written by the workers).
+        jobs: worker count; ``None``/``0`` uses every CPU.
+        seed: base run seed; each driver derives its own from it
+            (:func:`repro.perf.seeds.derive_driver_seed`), identically to
+            the serial path.
+
+    Returns:
+        The :class:`~repro.experiments.base.ExperimentResult` objects in
+        the order of ``modules`` (not completion order).
+    """
+    from repro.experiments import experiment_name
+
+    jobs = resolve_jobs(jobs)
+    if seed is None:
+        seed = _manifest.current_seed()
+    names = [experiment_name(module) for module in modules]
+    trace_on = _trace.tracing_enabled()
+    metrics_on = _metrics.metrics_enabled()
+
+    with span("experiments.run_parallel", jobs=jobs, n_experiments=len(names)):
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 mp_context=_pool_context()) as pool:
+            futures = [pool.submit(_run_one, name, seed, str(output_dir),
+                                   trace_on, metrics_on)
+                       for name in names]
+            payloads = [future.result() for future in futures]
+
+    for payload in payloads:
+        _merge_payload(payload)
+    _metrics.inc("experiments.parallel_runs", len(payloads))
+    return [payload["result"] for payload in payloads]

@@ -1,0 +1,38 @@
+"""Deterministic per-driver seed derivation.
+
+One base seed (the CLI's ``--seed``) must reproduce the full evaluation
+whether the drivers run serially or fanned out across worker processes.
+A shared sequential RNG cannot give that: in a serial run driver B would
+consume the stream where driver A left off, while in a parallel run both
+would start fresh.  Instead every driver gets its own seed, derived from
+``(base_seed, driver name)`` by hashing — order- and schedule-independent
+by construction, so serial and parallel runs draw identical streams and
+produce byte-identical CSVs.
+
+Kept free of package-internal imports so :mod:`repro.experiments` can use
+it without creating an import cycle with :mod:`repro.perf.parallel`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["derive_driver_seed"]
+
+
+def derive_driver_seed(base_seed: int | None, name: str) -> int | None:
+    """Per-driver seed for one experiment under a base run seed.
+
+    Args:
+        base_seed: the run-level seed; ``None`` (unseeded run) passes
+            through unchanged.
+        name: the experiment id (e.g. ``"fig7"``).
+
+    Returns:
+        A stable 63-bit seed unique to ``(base_seed, name)``, or ``None``
+        when the run is unseeded.
+    """
+    if base_seed is None:
+        return None
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

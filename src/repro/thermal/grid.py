@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse import lil_matrix
+from scipy.sparse import csr_matrix, lil_matrix
 from scipy.sparse.linalg import spsolve
 
 from repro.thermal.model import TissueThermalModel
@@ -63,6 +63,80 @@ class ChipThermalGrid:
         """Area of one grid cell."""
         return (self.width_m / self.nx) * (self.height_m / self.ny)
 
+    def _conductances(self) -> tuple[float, float, float]:
+        """(gx, gy, g_tissue) of the discretized balance equation."""
+        dx = self.width_m / self.nx
+        dy = self.height_m / self.ny
+        sheet = self.silicon_conductivity_w_mk * self.thickness_m
+        gx = sheet * dy / dx  # lateral conductance between x-neighbours
+        gy = sheet * dx / dy
+        g_tissue = self.tissue.effective_h_w_m2k * self.cell_area_m2
+        return gx, gy, g_tissue
+
+    def _assemble(self, power_map_w: np.ndarray,
+                  ) -> tuple[csr_matrix, np.ndarray]:
+        """Vectorized finite-difference assembly (production path).
+
+        Builds the same system as :meth:`_assemble_reference` — identical
+        values and sparsity pattern — from whole-grid index arrays
+        instead of an O(nx*ny) Python double loop.  The diagonal adds the
+        per-neighbour conductances in the reference's left/right/up/down
+        order so the float sums match bit for bit.
+        """
+        gx, gy, g_tissue = self._conductances()
+        n = self.nx * self.ny
+        cells = np.arange(n, dtype=np.int64)
+        iy, ix = np.divmod(cells, self.nx)
+
+        neighbours = (
+            (ix > 0, -1, gx),              # left
+            (ix < self.nx - 1, +1, gx),    # right
+            (iy > 0, -self.nx, gy),        # up
+            (iy < self.ny - 1, +self.nx, gy),  # down
+        )
+        diag = np.full(n, g_tissue)
+        rows = [cells]
+        cols = [cells]
+        data = [diag]
+        for mask, offset, g in neighbours:
+            diag = diag + np.where(mask, g, 0.0)
+            here = cells[mask]
+            rows.append(here)
+            cols.append(here + offset)
+            data.append(np.full(here.size, -g))
+        data[0] = diag
+        matrix = csr_matrix(
+            (np.concatenate(data),
+             (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n))
+        return matrix, power_map_w.ravel().astype(float)
+
+    def _assemble_reference(self, power_map_w: np.ndarray,
+                            ) -> tuple[csr_matrix, np.ndarray]:
+        """Original double-loop assembly, kept as the parity oracle for
+        :meth:`_assemble` (``tests/thermal/test_grid.py``)."""
+        gx, gy, g_tissue = self._conductances()
+        n = self.nx * self.ny
+
+        matrix = lil_matrix((n, n))
+        rhs = np.zeros(n)
+
+        def index(iy: int, ix: int) -> int:
+            return iy * self.nx + ix
+
+        for iy in range(self.ny):
+            for ix in range(self.nx):
+                here = index(iy, ix)
+                diag = g_tissue
+                for niy, nix, g in ((iy, ix - 1, gx), (iy, ix + 1, gx),
+                                    (iy - 1, ix, gy), (iy + 1, ix, gy)):
+                    if 0 <= niy < self.ny and 0 <= nix < self.nx:
+                        diag += g
+                        matrix[here, index(niy, nix)] = -g
+                matrix[here, here] = diag
+                rhs[here] = power_map_w[iy, ix]
+        return matrix.tocsr(), rhs
+
     def solve(self, power_map_w: np.ndarray) -> np.ndarray:
         """Steady-state temperature rise field [K].
 
@@ -82,33 +156,8 @@ class ChipThermalGrid:
         if np.any(power_map_w < 0):
             raise ValueError("power must be non-negative")
 
-        dx = self.width_m / self.nx
-        dy = self.height_m / self.ny
-        sheet = self.silicon_conductivity_w_mk * self.thickness_m
-        h_eff = self.tissue.effective_h_w_m2k
-        n = self.nx * self.ny
-
-        matrix = lil_matrix((n, n))
-        rhs = np.zeros(n)
-        gx = sheet * dy / dx  # lateral conductance between x-neighbours
-        gy = sheet * dx / dy
-        g_tissue = h_eff * self.cell_area_m2
-
-        def index(iy: int, ix: int) -> int:
-            return iy * self.nx + ix
-
-        for iy in range(self.ny):
-            for ix in range(self.nx):
-                here = index(iy, ix)
-                diag = g_tissue
-                for niy, nix, g in ((iy, ix - 1, gx), (iy, ix + 1, gx),
-                                    (iy - 1, ix, gy), (iy + 1, ix, gy)):
-                    if 0 <= niy < self.ny and 0 <= nix < self.nx:
-                        diag += g
-                        matrix[here, index(niy, nix)] = -g
-                matrix[here, here] = diag
-                rhs[here] = power_map_w[iy, ix]
-        solution = spsolve(matrix.tocsr(), rhs)
+        matrix, rhs = self._assemble(power_map_w)
+        solution = spsolve(matrix, rhs)
         return solution.reshape(self.ny, self.nx)
 
     def uniform_map(self, total_power_w: float) -> np.ndarray:

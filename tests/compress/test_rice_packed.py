@@ -1,0 +1,147 @@
+"""Parity and robustness tests for the packed Rice codec.
+
+The string codec in :mod:`repro.compress.rice` is the oracle: the packed
+production codec must produce a bit-for-bit identical stream and decode
+it back exactly, for every k and every residual distribution — including
+the checkpoint-index fast path and its serial-chain fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress.rice import (
+    CHECKPOINT_INTERVAL,
+    PackedBits,
+    _chain_terminators,
+    optimal_rice_parameter,
+    optimal_rice_parameters,
+    pack_bitstring,
+    rice_decode,
+    rice_decode_packed,
+    rice_encode,
+    rice_encode_packed,
+    zigzag,
+)
+
+
+def _random_block(rng, n, spread):
+    return rng.integers(-spread, spread + 1, size=n).astype(np.int64)
+
+
+@pytest.mark.parametrize("spread", [1, 5, 50, 400, 12000])
+@pytest.mark.parametrize("n", [1, 63, 64, 65, 1000])
+def test_packed_stream_matches_string_oracle(rng, spread, n):
+    values = _random_block(rng, n, spread)
+    k = optimal_rice_parameter(values)
+    stream = rice_encode_packed(values, k)
+    assert stream.to_string() == rice_encode(values, k)
+    assert np.array_equal(rice_decode_packed(stream, k, n), values)
+
+
+@pytest.mark.parametrize("k", [0, 1, 2, 7, 13, 24, 30])
+def test_round_trip_at_fixed_k(rng, k):
+    values = _random_block(rng, 700, 90)
+    stream = rice_encode_packed(values, k)
+    assert stream.to_string() == rice_encode(values, k)
+    decoded = rice_decode_packed(stream, k, values.size)
+    assert np.array_equal(decoded, values)
+
+
+def test_checkpoints_cover_every_interval(rng):
+    values = _random_block(rng, 1000, 50)
+    stream = rice_encode_packed(values, 5)
+    expected = -(-values.size // CHECKPOINT_INTERVAL)
+    assert stream.checkpoints is not None
+    assert stream.checkpoints.size == expected
+    assert stream.checkpoints[0] == 0
+
+
+def test_pack_bitstring_fallback_decodes_without_checkpoints(rng):
+    """A stream packed from raw bits has no seek index; the decoder must
+    fall back to the serial chain and still match the oracle."""
+    values = _random_block(rng, 500, 200)
+    k = optimal_rice_parameter(values)
+    bits = rice_encode(values, k)
+    stream = pack_bitstring(bits)
+    assert stream.checkpoints is None
+    assert np.array_equal(rice_decode_packed(stream, k, values.size),
+                          rice_decode(bits, k, values.size))
+
+
+def test_lockstep_and_chain_paths_agree(rng):
+    values = _random_block(rng, 2000, 150)
+    k = optimal_rice_parameter(values)
+    stream = rice_encode_packed(values, k)
+    bare = PackedBits(stream.payload, stream.n_bits)
+    assert np.array_equal(rice_decode_packed(stream, k, values.size),
+                          rice_decode_packed(bare, k, values.size))
+
+
+def test_partial_decode_returns_prefix(rng):
+    values = _random_block(rng, 900, 60)
+    k = optimal_rice_parameter(values)
+    stream = rice_encode_packed(values, k)
+    for count in (1, 64, 65, 500):
+        assert np.array_equal(rice_decode_packed(stream, k, count),
+                              values[:count])
+
+
+@pytest.mark.parametrize("extra", [1, 64, 500])
+def test_truncated_stream_raises(rng, extra):
+    values = _random_block(rng, 300, 40)
+    k = optimal_rice_parameter(values)
+    stream = rice_encode_packed(values, k)
+    with pytest.raises(ValueError, match="[Tt]runcated|missing"):
+        rice_decode_packed(stream, k, values.size + extra)
+
+
+def test_corrupt_checkpoint_index_raises(rng):
+    values = _random_block(rng, 800, 60)
+    k = optimal_rice_parameter(values)
+    stream = rice_encode_packed(values, k)
+    bogus = stream.checkpoints.copy()
+    bogus[1:] = bogus[1:][::-1]  # out-of-order seek offsets
+    corrupt = PackedBits(stream.payload, stream.n_bits, checkpoints=bogus)
+    with pytest.raises(ValueError):
+        rice_decode_packed(corrupt, k, values.size)
+
+
+def test_large_residuals_stay_exact():
+    """Regression: the float64 cost scan mis-ranked k for residuals
+    beyond 2**53; the integer-shift rewrite must stay exact."""
+    values = np.array([(1 << 60) + 1, -(1 << 60), 3, -7], dtype=np.int64)
+    k = optimal_rice_parameter(values, max_k=60)
+    unsigned = zigzag(values)
+    costs = [int(np.sum(unsigned >> kk)) + (kk + 1) * values.size
+             for kk in range(61)]
+    assert costs[k] == min(costs)
+    stream = rice_encode_packed(values, 58)
+    assert np.array_equal(rice_decode_packed(stream, 58, values.size),
+                          values)
+
+
+def test_optimal_parameters_batch_matches_scalar(rng):
+    blocks = rng.integers(-300, 300, size=(6, 256)).astype(np.int64)
+    ks, bits = optimal_rice_parameters(blocks)
+    assert list(ks) == [optimal_rice_parameter(block) for block in blocks]
+    assert list(bits) == [len(rice_encode(block, int(k)))
+                          for block, k in zip(blocks, ks)]
+
+
+def test_chain_terminators_raises_on_truncation():
+    zeros = np.array([3, 9], dtype=np.int64)
+    with pytest.raises(ValueError, match="truncated"):
+        _chain_terminators(zeros, 2, 5)
+
+
+def test_randomized_parity(rng):
+    for _ in range(40):
+        n = int(rng.integers(1, 4000))
+        spread = int(rng.integers(1, 5000))
+        values = _random_block(rng, n, spread)
+        k = int(rng.integers(0, 20))
+        stream = rice_encode_packed(values, k)
+        assert stream.to_string() == rice_encode(values, k)
+        assert np.array_equal(rice_decode_packed(stream, k, n), values)

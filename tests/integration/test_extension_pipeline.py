@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.compress import NeuralCompressor
+from repro.compress.rice import PackedBits
 from repro.core.closed_loop import evaluate_closed_loop
 from repro.core.event_stream import EventStreamConfig, evaluate_event_stream
 from repro.core.explorer import explore
@@ -33,20 +34,24 @@ class TestCompressedStreamPipeline:
         packetizer = Packetizer(payload_bytes=64, sample_bits=16)
 
         for channel in codes:
-            bits, k = codec.encode_channel(channel)
-            # Pack the bitstring into 16-bit words for framing.
-            padded = bits + "0" * (-len(bits) % 16)
-            words = np.array([int(padded[i:i + 16], 2) - (1 << 15)
-                              for i in range(0, len(padded), 16)],
-                             dtype=np.int32)
+            stream, k = codec.encode_channel(channel)
+            # Frame the packed payload bytes as 16-bit words.
+            payload = stream.payload
+            if payload.size % 2:
+                payload = np.append(payload, np.uint8(0))
+            words = (payload.astype(np.int32).reshape(-1, 2)
+                     @ np.array([256, 1])) - (1 << 15)
             recovered_words = packetizer.depacketize(
-                packetizer.packetize(words))
-            recovered_bits = "".join(
-                format(int(w) + (1 << 15), "016b")
-                for w in recovered_words)[:len(bits)]
-            assert recovered_bits == bits
-            recovered = codec.decode_channel(recovered_bits, k,
-                                             channel.size)
+                packetizer.packetize(words.astype(np.int32)))
+            shifted = np.asarray(recovered_words, dtype=np.int64) + (1 << 15)
+            recovered_payload = np.column_stack(
+                [shifted >> 8, shifted & 0xFF]).astype(np.uint8).ravel()
+            n_payload = stream.payload.size
+            assert np.array_equal(recovered_payload[:n_payload],
+                                  stream.payload)
+            recovered = codec.decode_channel(
+                PackedBits(recovered_payload[:n_payload], stream.n_bits),
+                k, channel.size)
             np.testing.assert_array_equal(recovered, channel)
 
     def test_measured_ratio_feeds_explorer(self, rng, bisc):

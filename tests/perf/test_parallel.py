@@ -1,0 +1,98 @@
+"""Tests for the parallel experiment engine and per-driver seeding.
+
+The headline contract: ``run_all(jobs=N, seed=S)`` writes CSVs
+byte-identical to a serial ``run_all(seed=S)`` — the per-driver seed
+derivation makes artifacts a function of (seed, driver name) only, never
+of scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.experiments import ALL_EXPERIMENTS, experiment_name, run_all
+from repro.perf import derive_driver_seed, resolve_jobs, run_parallel
+
+
+class TestDeriveDriverSeed:
+    def test_none_passes_through(self):
+        assert derive_driver_seed(None, "fig5") is None
+
+    def test_deterministic(self):
+        assert (derive_driver_seed(42, "fig5")
+                == derive_driver_seed(42, "fig5"))
+
+    def test_distinct_per_driver_and_seed(self):
+        seeds = {derive_driver_seed(42, name)
+                 for name in ("fig5", "fig7", "fig8", "table1")}
+        assert len(seeds) == 4
+        assert derive_driver_seed(42, "fig5") != derive_driver_seed(
+            43, "fig5")
+
+    def test_fits_numpy_seed_range(self):
+        value = derive_driver_seed(2**31, "fig7")
+        assert 0 <= value < 2**63
+        np.random.default_rng(value)  # must be a legal seed
+
+
+class TestResolveJobs:
+    def test_explicit_count(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+def _csv_bytes(directory):
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("*.csv"))}
+
+
+class TestParallelRunAll:
+    def test_parallel_csvs_byte_identical_to_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = run_all(output_dir=serial_dir, seed=7)
+        parallel = run_all(output_dir=parallel_dir, seed=7, jobs=4)
+
+        assert _csv_bytes(serial_dir) == _csv_bytes(parallel_dir)
+        assert len(_csv_bytes(serial_dir)) == len(ALL_EXPERIMENTS)
+        assert [r.title for r in serial] == [r.title for r in parallel]
+        assert all(r.seed == 7 for r in serial + parallel)
+        assert ([r.derived_seed for r in serial]
+                == [r.derived_seed for r in parallel])
+
+    def test_results_come_back_in_input_order(self, tmp_path):
+        modules = list(ALL_EXPERIMENTS[:3])
+        results = run_parallel(modules, output_dir=tmp_path, jobs=2,
+                               seed=11)
+        expected = [derive_driver_seed(11, experiment_name(m))
+                    for m in modules]
+        assert [r.derived_seed for r in results] == expected
+
+    def test_worker_spans_and_metrics_merge(self, tmp_path):
+        obs.enable_all()
+        try:
+            run_parallel(list(ALL_EXPERIMENTS[:2]), output_dir=tmp_path,
+                         jobs=2, seed=3)
+            roots = obs.TRACER.roots
+            names = {root.name for root in roots}
+            assert "experiments.run_parallel" in names
+            worker_roots = [root for root in roots
+                            if root.name != "experiments.run_parallel"]
+            assert worker_roots
+            assert all("worker_pid" in root.attrs
+                       for root in worker_roots)
+            snapshot = obs.REGISTRY.snapshot()
+            assert snapshot["counters"].get(
+                "experiments.parallel_runs") == 2
+        finally:
+            obs.disable_all()
+            obs.reset_all()

@@ -42,6 +42,22 @@ class TestEvaluate:
         assert (tmp_path / "table1.csv").exists()
         assert (tmp_path / "fig4.csv").exists()
 
+    def test_parallel_jobs_writes_same_artifacts(self, capsys, tmp_path):
+        assert main(["evaluate", "table1", "fig4", "--jobs", "2",
+                     "--seed", "9", "--quiet",
+                     "--output-dir", str(tmp_path / "par")]) == 0
+        assert main(["evaluate", "table1", "fig4",
+                     "--seed", "9", "--quiet",
+                     "--output-dir", str(tmp_path / "ser")]) == 0
+        for name in ("table1.csv", "fig4.csv"):
+            assert ((tmp_path / "par" / name).read_bytes()
+                    == (tmp_path / "ser" / name).read_bytes())
+
+    def test_negative_jobs_rejected(self, capsys, tmp_path):
+        assert main(["evaluate", "fig7", "fig8", "--jobs", "-3",
+                     "--output-dir", str(tmp_path)]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
 
 class TestExplore:
     def test_explore_bisc(self, capsys):
