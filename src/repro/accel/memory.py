@@ -27,9 +27,10 @@ from repro.accel.schedule import Schedule
 from repro.accel.tech import TechnologyNode
 from repro.dnn.macs import LayerMacs
 from repro.dnn.network import Network
+from repro.units import fj
 
 #: SRAM read/write energy per (8-bit) access at 45 nm-class nodes [J].
-DEFAULT_SRAM_ACCESS_ENERGY_J = 5e-14
+DEFAULT_SRAM_ACCESS_ENERGY_J = fj(50.0)
 
 #: SRAM leakage per stored bit [W].
 DEFAULT_SRAM_LEAKAGE_W_PER_BIT = 1e-11

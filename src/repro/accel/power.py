@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 from repro.accel.tech import TECH_130NM, TechnologyNode
+from repro.units import mw, nw, to_mw, uw
 
 
 @dataclass(frozen=True)
@@ -85,9 +86,9 @@ class AcceleratorPowerModel:
     """
 
     tech: TechnologyNode = TECH_130NM
-    p_rom_word_w: float = 1e-9
-    p_reg_w: float = 7.68e-7
-    p_ctrl_base_w: float = 1.0e-3
+    p_rom_word_w: float = nw(1.0)
+    p_reg_w: float = uw(0.768)
+    p_ctrl_base_w: float = mw(1.0)
     pe_overhead_w: float = 0.0
 
     @property
@@ -135,8 +136,8 @@ def fig9_power_table(model: AcceleratorPowerModel | None = None,
             "mac_seq": point.mac_seq,
             "mac_hw": point.mac_hw,
             "mac_ops": point.mac_ops,
-            "layer_power_mw": model.layer_power(point) * 1e3,
-            "pe_power_mw": model.pe_power(point) * 1e3,
+            "layer_power_mw": to_mw(model.layer_power(point)),
+            "pe_power_mw": to_mw(model.pe_power(point)),
             "pe_fraction": model.pe_fraction(point),
         })
     return rows

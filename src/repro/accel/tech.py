@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.units import mw, ns
+
 
 @dataclass(frozen=True)
 class TechnologyNode:
@@ -47,14 +49,14 @@ class TechnologyNode:
 
 
 #: Paper Section 5.3, Results: NanGate 45 nm at 100 MHz.
-TECH_45NM = TechnologyNode(name="45nm", t_mac_s=2e-9, p_mac_w=0.05e-3)
+TECH_45NM = TechnologyNode(name="45nm", t_mac_s=ns(2.0), p_mac_w=mw(0.05))
 
 #: Paper Section 6.2, technology-scaling optimization target.
-TECH_12NM = TechnologyNode(name="12nm", t_mac_s=1e-9, p_mac_w=0.026e-3)
+TECH_12NM = TechnologyNode(name="12nm", t_mac_s=ns(1.0), p_mac_w=mw(0.026))
 
 #: Fig. 9 accelerator synthesis node (TSMC 130 nm at 100 MHz); constants
 #: back-projected from the 45 nm point (roughly 2x latency, 2x power).
-TECH_130NM = TechnologyNode(name="130nm", t_mac_s=4e-9, p_mac_w=0.10e-3)
+TECH_130NM = TechnologyNode(name="130nm", t_mac_s=ns(4.0), p_mac_w=mw(0.10))
 
 _NODES = {node.name: node for node in (TECH_130NM, TECH_45NM, TECH_12NM)}
 

@@ -1,0 +1,124 @@
+"""Committed baseline of grandfathered violations.
+
+The baseline lets the linter gate CI from day one: existing violations
+are fingerprinted into ``.analysis-baseline.json`` and tolerated, while
+anything new fails the run.  Fingerprints hash the rule id, the file, the
+*normalized text* of the offending line, and an occurrence index — so
+they survive unrelated edits that shift line numbers, but a new
+violation (new line text, or one more copy of an old one) is always new.
+
+The on-disk format is deterministic (sorted entries, sorted keys, fixed
+indentation) so ``load -> save`` round-trips byte-identically — the
+property ``tests/analysis/test_baseline.py`` pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import AnalysisError, Finding
+
+__all__ = ["DEFAULT_BASELINE_PATH", "baseline_entry", "fingerprint",
+           "fingerprint_findings", "load_baseline", "save_baseline",
+           "split_by_baseline"]
+
+#: Baseline file name looked up at the repository root by the CLI.
+DEFAULT_BASELINE_PATH = ".analysis-baseline.json"
+
+#: Baseline schema version (bump when the entry shape changes).
+SCHEMA_VERSION = 1
+
+
+def fingerprint(rule: str, path: str, line_text: str,
+                occurrence: int) -> str:
+    """Stable id of one violation, independent of its line number."""
+    payload = "\x1f".join([rule, path, " ".join(line_text.split()),
+                           str(occurrence)])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: Sequence[Finding],
+                         line_text_of: dict[tuple[str, int], str],
+                         ) -> list[tuple[Finding, str]]:
+    """Pair each finding with its fingerprint.
+
+    Args:
+        findings: findings in report order.
+        line_text_of: ``(path, line) -> source line`` for every finding.
+
+    Duplicate (rule, path, line-text) triples are disambiguated by an
+    occurrence counter in report order, so two identical violations on
+    different lines of one file get distinct fingerprints.
+    """
+    occurrences: Counter[tuple[str, str, str]] = Counter()
+    out = []
+    for finding in findings:
+        text = line_text_of.get((finding.path, finding.line), "")
+        key = (finding.rule, finding.path, " ".join(text.split()))
+        index = occurrences[key]
+        occurrences[key] += 1
+        out.append((finding, fingerprint(finding.rule, finding.path,
+                                         text, index)))
+    return out
+
+
+def baseline_entry(finding: Finding, digest: str) -> dict[str, object]:
+    """The JSON record persisted for one grandfathered violation."""
+    return {
+        "fingerprint": digest,
+        "path": finding.path,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def save_baseline(path: Path | str,
+                  entries: Sequence[dict[str, object]]) -> Path:
+    """Write baseline entries deterministically; returns the path."""
+    path = Path(path)
+    ordered = sorted(
+        entries,
+        key=lambda e: (str(e.get("rule", "")), str(e.get("path", "")),
+                       str(e.get("fingerprint", ""))))
+    document = {"schema_version": SCHEMA_VERSION, "entries": ordered}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path | str) -> list[dict[str, object]]:
+    """Read baseline entries (empty list when the file is absent).
+
+    Raises:
+        AnalysisError: on malformed baseline documents.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise AnalysisError(
+            f"unreadable baseline {path}: {error}") from error
+    entries = document.get("entries") if isinstance(document, dict) else None
+    if not isinstance(entries, list) or not all(
+            isinstance(e, dict) and "fingerprint" in e for e in entries):
+        raise AnalysisError(
+            f"malformed baseline {path}: expected "
+            "{'schema_version': ..., 'entries': [{'fingerprint': ...}]}")
+    return entries
+
+
+def split_by_baseline(fingerprinted: Sequence[tuple[Finding, str]],
+                      entries: Sequence[dict[str, object]],
+                      ) -> tuple[list[tuple[Finding, str]],
+                                 list[tuple[Finding, str]]]:
+    """Partition findings into (new, grandfathered) against a baseline."""
+    known = {str(entry["fingerprint"]) for entry in entries}
+    fresh = [(f, d) for f, d in fingerprinted if d not in known]
+    old = [(f, d) for f, d in fingerprinted if d in known]
+    return fresh, old

@@ -1,0 +1,246 @@
+"""Rule engine: parsed-file model, rule registry, and the analysis driver.
+
+A :class:`Rule` sees the whole analyzed file set, so rules can be local
+(walk one module's AST) or cross-file (match kernels in ``src/`` against
+the tests that exercise them).  Findings carry a stable location and a
+message; suppression happens either inline (``# lint: ignore[rule-id]``
+on the offending line) or via the committed baseline
+(:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = ["AnalysisError", "Finding", "ParsedFile", "Rule", "all_rules",
+           "analyze_paths", "collect_files", "iter_python_files",
+           "register_rule", "rule_by_id", "run_rules"]
+
+#: Directories never descended into when collecting files.  ``corpus``
+#: keeps the deliberately-violating lint fixtures out of the default
+#: scan; pass a corpus directory explicitly to analyze it.
+_SKIPPED_DIRS = {"__pycache__", ".git", ".hypothesis", "results",
+                 ".pytest_cache", "corpus"}
+
+#: Inline suppression: ``# lint: ignore[units]`` or
+#: ``# lint: ignore[units, determinism]`` on the finding's line.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([a-z\-,\s]+)\]")
+
+
+class AnalysisError(RuntimeError):
+    """Raised for unusable inputs (unreadable paths, syntax errors)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation.
+
+    Attributes:
+        path: file the violation lives in, as given to the analyzer
+            (normalized to forward slashes, repo-relative when possible).
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule: id of the rule that fired.
+        message: human-readable explanation with the offending construct.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class ParsedFile:
+    """One analyzed module: source text, AST, and per-line suppressions."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    _suppressed: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str) -> "ParsedFile":
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise AnalysisError(f"cannot read {path}: {error}") from error
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raise AnalysisError(
+                f"syntax error in {display_path}:{error.lineno}: "
+                f"{error.msg}") from error
+        lines = source.splitlines()
+        suppressed: dict[int, set[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                suppressed[number] = {r for r in rules if r}
+        return cls(path=path, display_path=display_path, source=source,
+                   tree=tree, lines=lines, _suppressed=suppressed)
+
+    def line_text(self, line: int) -> str:
+        """The 1-based source line (empty string out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when the line carries ``# lint: ignore[<rule>]``."""
+        return rule in self._suppressed.get(line, ())
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of a node ('' when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and override
+    :meth:`check`, yielding findings over the full file set.  Helper
+    :meth:`finding` applies inline suppression automatically.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, parsed: ParsedFile, node: ast.AST | None,
+                message: str, line: int | None = None,
+                col: int | None = None) -> Finding | None:
+        """Build a finding unless the line suppresses this rule."""
+        if line is None:
+            line = getattr(node, "lineno", 1)
+        if col is None:
+            col = getattr(node, "col_offset", 0)
+        if parsed.is_suppressed(line, self.rule_id):
+            return None
+        return Finding(path=parsed.display_path, line=line, col=col,
+                       rule=self.rule_id, message=message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} must define rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in stable id order."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look up one registered rule.
+
+    Raises:
+        KeyError: for unknown rule ids.
+    """
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}; "
+                       f"available: {sorted(_REGISTRY)}") from None
+
+
+def iter_python_files(paths: Iterable[Path | str],
+                      ) -> Iterator[tuple[Path, str]]:
+    """Yield ``(path, display_path)`` for every ``.py`` under ``paths``.
+
+    Files are yielded in sorted order for deterministic reports; display
+    paths are relative to the common invocation directory when possible.
+
+    Raises:
+        AnalysisError: when a given path does not exist.
+    """
+    seen: set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if not root.exists():
+            raise AnalysisError(f"no such path: {root}")
+        if root.is_file():
+            candidates = [root]
+        else:
+            # Skip directories relative to the requested root, so an
+            # explicitly named corpus directory is still analyzable.
+            candidates = sorted(
+                p for p in root.rglob("*.py")
+                if not (_SKIPPED_DIRS & set(p.relative_to(root).parts[:-1])))
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                display = str(path.relative_to(Path.cwd()))
+            except ValueError:
+                display = str(path)
+            yield path, display.replace("\\", "/")
+
+
+def collect_files(paths: Iterable[Path | str],
+                  on_file: Callable[[str], None] | None = None,
+                  ) -> list[ParsedFile]:
+    """Parse every Python file under ``paths`` (deterministic order)."""
+    files: list[ParsedFile] = []
+    for path, display in iter_python_files(paths):
+        if on_file is not None:
+            on_file(display)
+        files.append(ParsedFile.parse(path, display))
+    return files
+
+
+def run_rules(files: Sequence[ParsedFile],
+              rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Run rules over already-parsed files.
+
+    Returns:
+        All findings, sorted by (path, line, col, rule).
+    """
+    if rules is None:
+        rules = all_rules()
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(f for f in rule.check(files) if f is not None)
+    return sorted(findings)
+
+
+def analyze_paths(paths: Iterable[Path | str],
+                  rules: Sequence[Rule] | None = None,
+                  on_file: Callable[[str], None] | None = None,
+                  ) -> list[Finding]:
+    """Run rules over every Python file under ``paths``.
+
+    Args:
+        paths: files or directories to analyze.
+        rules: rule subset (default: every registered rule).
+        on_file: optional progress hook called with each display path.
+
+    Returns:
+        All findings, sorted by (path, line, col, rule).
+    """
+    return run_rules(collect_files(paths, on_file=on_file), rules)

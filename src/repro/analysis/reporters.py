@@ -1,0 +1,70 @@
+"""Text and JSON renderings of an analysis run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["render_json", "render_text"]
+
+#: JSON report schema version (bump when the field set changes).
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(new: Sequence[tuple[Finding, str]],
+                grandfathered: Sequence[tuple[Finding, str]],
+                rules: Sequence[Rule],
+                n_files: int) -> str:
+    """Human-readable report: one ``path:line:col rule message`` per
+    finding, then a per-rule summary."""
+    lines = []
+    for finding, _ in new:
+        lines.append(f"{finding.location()}: [{finding.rule}] "
+                     f"{finding.message}")
+    if lines:
+        lines.append("")
+    by_rule = Counter(f.rule for f, _ in new)
+    summary = ", ".join(f"{rule}={count}"
+                        for rule, count in sorted(by_rule.items()))
+    lines.append(
+        f"analyzed {n_files} files with {len(rules)} rules: "
+        f"{len(new)} new finding(s)"
+        + (f" ({summary})" if summary else "")
+        + (f", {len(grandfathered)} baselined" if grandfathered else ""))
+    return "\n".join(lines)
+
+
+def render_json(new: Sequence[tuple[Finding, str]],
+                grandfathered: Sequence[tuple[Finding, str]],
+                rules: Sequence[Rule],
+                n_files: int) -> str:
+    """Machine-readable report (uploaded as a CI artifact)."""
+
+    def encode(finding: Finding, digest: str,
+               baselined: bool) -> dict[str, object]:
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule,
+            "message": finding.message,
+            "fingerprint": digest,
+            "baselined": baselined,
+        }
+
+    document = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "n_files": n_files,
+        "rules": [{"id": rule.rule_id, "description": rule.description}
+                  for rule in rules],
+        "counts": {
+            "new": len(new),
+            "baselined": len(grandfathered),
+        },
+        "findings": ([encode(f, d, False) for f, d in new]
+                     + [encode(f, d, True) for f, d in grandfathered]),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,148 @@
+"""Rule ``export-hygiene``: honest public surfaces, no mutable defaults.
+
+Two checks that keep module interfaces trustworthy as the codebase grows:
+
+* **``__all__`` consistency** — in any module declaring ``__all__``,
+  every listed name must actually be bound at module level, and every
+  public (non-underscore) top-level function or class must be listed.
+  A stale ``__all__`` silently narrows or widens ``import *`` surfaces
+  and misleads readers about the supported API.
+* **mutable default arguments** — ``def f(x=[])``, ``def f(x={})``,
+  ``def f(x=set())`` share one instance across calls; the fix is a
+  ``None`` default (or ``dataclasses.field(default_factory=...)``,
+  which this rule deliberately does not flag).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+
+__all__ = ["ExportHygieneRule"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "Counter", "deque"}
+
+
+def _module_bindings(tree: ast.Module) -> set[str]:
+    """Every name bound at module top level (defs, classes, imports,
+    assignments — including inside top-level try/if blocks)."""
+    bound: set[str] = set()
+
+    def visit_body(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname
+                               or alias.name.split(".", 1)[0]))
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, (ast.If, ast.Try)):
+                visit_body(node.body)
+                for handler in getattr(node, "handlers", []):
+                    visit_body(handler.body)
+                visit_body(node.orelse)
+                visit_body(getattr(node, "finalbody", []))
+
+    visit_body(tree.body)
+    return bound
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str], ast.AST] | None:
+    """(names, node) of a literal ``__all__`` declaration, if any."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in node.targets):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in node.value.elts):
+            return [e.value for e in node.value.elts], node
+    return None
+
+
+@register_rule
+class ExportHygieneRule(Rule):
+    """__all__ must match reality; defaults must be immutable."""
+
+    rule_id = "export-hygiene"
+    description = ("__all__ inconsistent with module bindings/public "
+                   "defs, or mutable default argument")
+
+    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+        for parsed in files:
+            yield from self._check_all(parsed)
+            yield from self._check_defaults(parsed)
+
+    def _check_all(self, parsed: ParsedFile) -> Iterator[Finding]:
+        declared = _declared_all(parsed.tree)
+        if declared is None:
+            return
+        names, node = declared
+        bound = _module_bindings(parsed.tree)
+        for name in names:
+            if name not in bound:
+                found = self.finding(
+                    parsed, node,
+                    f"__all__ exports {name!r}, which the module never "
+                    "binds")
+                if found is not None:
+                    yield found
+        listed = set(names)
+        for top in parsed.tree.body:
+            if not isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                continue
+            if top.name.startswith("_") or top.name in listed:
+                continue
+            kind = "class" if isinstance(top, ast.ClassDef) else "function"
+            found = self.finding(
+                parsed, top,
+                f"public {kind} {top.name!r} missing from __all__ "
+                "(export it or make it private)")
+            if found is not None:
+                yield found
+
+    def _check_defaults(self, parsed: ParsedFile) -> Iterator[Finding]:
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if isinstance(default, _MUTABLE_LITERALS):
+                    label = type(default).__name__.lower()
+                elif (isinstance(default, ast.Call)
+                      and isinstance(default.func, ast.Name)
+                      and default.func.id in _MUTABLE_CALLS):
+                    label = f"{default.func.id}()"
+                else:
+                    continue
+                where = getattr(node, "name", "<lambda>")
+                found = self.finding(
+                    parsed, default,
+                    f"mutable default argument ({label}) in {where}; "
+                    "use None and create the value inside the function")
+                if found is not None:
+                    yield found

@@ -1,0 +1,127 @@
+"""Rule ``parity-oracle``: vectorized kernels keep their oracles tested.
+
+The perf work (PR 2) vectorized hot kernels but kept every original
+scalar implementation as a *parity oracle* — e.g.
+``ThermalGrid._assemble_reference`` for the COO assembly, and the string
+Rice codec for the packed one.  The guarantee only holds while some test
+actually compares the pair; this rule makes that structural:
+
+* a pair is declared either **by convention** — a callable named
+  ``<kernel>_reference`` next to a callable ``<kernel>`` in the same
+  module — or **by registry** — a module-level
+  ``PARITY_ORACLES = {"kernel_name": "oracle_name"}`` dict for pairs
+  whose names predate the convention;
+* for every pair, at least one test module (``test_*.py``) must mention
+  *both* names — the structural minimum for a parity test.  A kernel
+  whose oracle no test imports has a drifting oracle.
+
+Registry entries naming callables that don't exist in the module are
+themselves findings (a stale registry is worse than none).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+
+__all__ = ["ParityOracleRule", "REGISTRY_NAME", "REFERENCE_SUFFIX"]
+
+#: Module-level dict declaring {kernel: oracle} pairs explicitly.
+REGISTRY_NAME = "PARITY_ORACLES"
+
+#: Naming convention marking a callable as a parity oracle.
+REFERENCE_SUFFIX = "_reference"
+
+
+def _is_test_file(parsed: ParsedFile) -> bool:
+    name = parsed.path.name
+    return name.startswith("test_") or name == "conftest.py"
+
+
+def _callable_names(tree: ast.Module) -> dict[str, ast.AST]:
+    """Every function/method name defined in a module -> its def node."""
+    names: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.setdefault(node.name, node)
+    return names
+
+
+def _registry_pairs(parsed: ParsedFile,
+                    ) -> list[tuple[str, str, ast.AST]]:
+    """(kernel, oracle, node) entries of a PARITY_ORACLES declaration."""
+    pairs = []
+    for node in parsed.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == REGISTRY_NAME
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)):
+                pairs.append((key.value, val.value, key))
+    return pairs
+
+
+@register_rule
+class ParityOracleRule(Rule):
+    """Every kernel/oracle pair must appear together in some test."""
+
+    rule_id = "parity-oracle"
+    description = ("vectorized kernel with a *_reference / registered "
+                   "oracle sibling lacking a test importing both")
+
+    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+        sources = [p for p in files if not _is_test_file(p)]
+        tests = [p for p in files if _is_test_file(p)]
+        test_blobs = [t.source for t in tests]
+        for parsed in sources:
+            defined = _callable_names(parsed.tree)
+            pairs: list[tuple[str, str, ast.AST]] = []
+            for name, node in defined.items():
+                if not name.endswith(REFERENCE_SUFFIX):
+                    continue
+                kernel = name[:-len(REFERENCE_SUFFIX)]
+                if not kernel.strip("_"):
+                    continue
+                if kernel in defined:
+                    pairs.append((kernel, name, node))
+            for kernel, oracle, node in _registry_pairs(parsed):
+                missing = [n for n in (kernel, oracle) if n not in defined]
+                if missing:
+                    found = self.finding(
+                        parsed, node,
+                        f"{REGISTRY_NAME} names {missing[0]!r}, which "
+                        f"this module does not define")
+                    if found is not None:
+                        yield found
+                    continue
+                pairs.append((kernel, oracle, node))
+            for kernel, oracle, node in pairs:
+                if not self._tested_together(kernel, oracle, test_blobs):
+                    found = self.finding(
+                        parsed, node,
+                        f"kernel {kernel!r} has parity oracle {oracle!r} "
+                        "but no test module references both; add a "
+                        "test comparing their outputs")
+                    if found is not None:
+                        yield found
+
+    @staticmethod
+    def _tested_together(kernel: str, oracle: str,
+                         test_blobs: Sequence[str]) -> bool:
+        kernel_re = re.compile(rf"\b{re.escape(kernel)}\b")
+        oracle_re = re.compile(rf"\b{re.escape(oracle)}\b")
+        return any(kernel_re.search(blob) and oracle_re.search(blob)
+                   for blob in test_blobs)

@@ -1,0 +1,140 @@
+"""Rule ``units``: no bare power-of-ten unit factors.
+
+The framework's safety limits (40 mW/cm^2, <= 1 K rise, <= 20 um pitch)
+make a silent mW-vs-W slip a correctness bug, so all scale conversions
+must go through the name-carrying helpers in :mod:`repro.units`
+(``mw()``, ``to_mw()``, ``khz()``, ...).  Two checks:
+
+* **arithmetic factors** — a pure power-of-ten literal (``1e-3``,
+  ``1e6``, ``1000.0``) multiplying or dividing a value reads as a unit
+  conversion and must be a named helper instead;
+* **unit-suffixed bindings** — a scientific-notation literal assigned to
+  a name (or passed as a keyword) with an SI unit suffix (``_w``, ``_s``,
+  ``_hz``, ``_j``, ``_m``, ``_m2``, ``_bps``, ``_k``) must be constructed
+  via a helper, e.g. ``t_mac_s=ns(2.0)`` rather than ``t_mac_s=2e-9``.
+
+:mod:`repro.units` itself (where the factors are the definitions) and
+test modules (``test_*.py`` / ``conftest.py``) are exempt; additive
+epsilons (``x + 1e-12``) and comparisons (``err < 1e-9``) are not
+arithmetic conversions and never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+
+__all__ = ["UnitsRule", "is_power_of_ten", "power_of_ten_exponent"]
+
+#: Name suffixes treated as carrying an SI unit.
+UNIT_SUFFIXES = ("_w", "_s", "_hz", "_j", "_m", "_m2", "_bps", "_k",
+                 "_w_m2k", "_w_mk")
+
+_SCIENTIFIC_RE = re.compile(r"^[\d_.]+[eE][-+]?\d+$")
+
+
+def power_of_ten_exponent(value: object) -> int | None:
+    """The integer k with ``value == 10**k``, or None."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if value <= 0 or not math.isfinite(value):
+        return None
+    exponent = round(math.log10(value))
+    if 10.0 ** exponent == float(value):
+        return exponent
+    return None
+
+
+def is_power_of_ten(value: object, min_abs_exponent: int = 3) -> bool:
+    """True for 10**k with ``abs(k) >= min_abs_exponent``."""
+    exponent = power_of_ten_exponent(value)
+    return exponent is not None and abs(exponent) >= min_abs_exponent
+
+
+def _is_scientific(parsed: ParsedFile, node: ast.Constant) -> bool:
+    """True when the literal was written in scientific notation."""
+    return bool(_SCIENTIFIC_RE.match(parsed.segment(node)))
+
+
+def _has_unit_suffix(name: str) -> bool:
+    return name.lower().endswith(UNIT_SUFFIXES)
+
+
+def _exempt(parsed: ParsedFile) -> bool:
+    name = parsed.path.name
+    return (name == "units.py" or name == "conftest.py"
+            or name.startswith("test_"))
+
+
+@register_rule
+class UnitsRule(Rule):
+    """Bare power-of-ten factors must use :mod:`repro.units` helpers."""
+
+    rule_id = "units"
+    description = ("bare power-of-ten unit factors in arithmetic or "
+                   "unit-suffixed bindings; use repro.units helpers")
+
+    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+        for parsed in files:
+            if _exempt(parsed):
+                continue
+            yield from self._check_module(parsed)
+
+    def _check_module(self, parsed: ParsedFile) -> Iterator[Finding]:
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Mult, ast.Div)):
+                yield from self._check_factor(parsed, node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    yield from self._check_binding(
+                        parsed, node.target.id, node.value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield from self._check_binding(
+                            parsed, target.id, node.value)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        yield from self._check_binding(
+                            parsed, keyword.arg, keyword.value)
+
+    def _check_factor(self, parsed: ParsedFile,
+                      node: ast.BinOp) -> Iterator[Finding]:
+        """Power-of-ten literal as a multiply/divide operand."""
+        for operand in (node.left, node.right):
+            if not isinstance(operand, ast.Constant):
+                continue
+            if not is_power_of_ten(operand.value):
+                continue
+            found = self.finding(
+                parsed, operand,
+                f"bare power-of-ten factor {operand.value!r} in "
+                "arithmetic; use a repro.units helper "
+                "(mw()/to_mw(), khz(), ms(), ...)")
+            if found is not None:
+                yield found
+
+    def _check_binding(self, parsed: ParsedFile, name: str,
+                       value: ast.expr) -> Iterator[Finding]:
+        """Scientific literal bound to a unit-suffixed name."""
+        if not _has_unit_suffix(name):
+            return
+        if not (isinstance(value, ast.Constant)
+                and isinstance(value.value, (int, float))
+                and not isinstance(value.value, bool)):
+            return
+        if not _is_scientific(parsed, value):
+            return
+        found = self.finding(
+            parsed, value,
+            f"unit-suffixed binding {name!r} built from the raw literal "
+            f"{parsed.segment(value)}; construct it with a repro.units "
+            "helper (e.g. mw(), ns(), khz(), pj())")
+        if found is not None:
+            yield found

@@ -16,6 +16,10 @@ Commands:
 * ``profile EXPERIMENT`` — run one experiment (or ``all``, optionally
   with ``--jobs``) under the span tracer and print the nested span tree
   plus the top-N hotspots; worker-process spans are merged into the tree.
+* ``analyze`` — run the AST invariant linter (:mod:`repro.analysis`)
+  over ``src/`` and ``tests/``; non-zero exit on findings not covered by
+  the committed baseline.  ``--format json``/``--output`` for machine
+  reports, ``--update-baseline`` to grandfather the current findings.
 
 Global observability flags (valid after any subcommand):
 
@@ -219,6 +223,68 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _repo_root() -> Path:
+    """The checkout root (this file lives at ``<root>/src/repro/cli.py``)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro import analysis
+
+    root = _repo_root()
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [p for p in (root / "src", root / "tests") if p.exists()]
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / analysis.DEFAULT_BASELINE_PATH)
+    try:
+        files = analysis.collect_files(paths)
+        findings = analysis.run_rules(files)
+    except analysis.AnalysisError as error:
+        print(f"analyze: {error}", file=sys.stderr)
+        return 2
+    line_text_of = {(parsed.display_path, number): text
+                    for parsed in files
+                    for number, text in enumerate(parsed.lines, start=1)}
+    fingerprinted = analysis.fingerprint_findings(findings, line_text_of)
+
+    if args.update_baseline:
+        from repro.analysis.baseline import baseline_entry
+        entries = [baseline_entry(finding, digest)
+                   for finding, digest in fingerprinted]
+        analysis.save_baseline(baseline_path, entries)
+        print(f"baseline updated: {len(entries)} violation(s) "
+              f"grandfathered in {baseline_path}")
+        return 0
+
+    try:
+        entries = ([] if args.no_baseline
+                   else analysis.load_baseline(baseline_path))
+    except analysis.AnalysisError as error:
+        print(f"analyze: {error}", file=sys.stderr)
+        return 2
+    new, grandfathered = analysis.split_by_baseline(fingerprinted, entries)
+
+    rules = analysis.all_rules()
+    if args.format == "json":
+        rendered = analysis.render_json(new, grandfathered, rules,
+                                        len(files))
+    else:
+        rendered = analysis.render_text(new, grandfathered, rules,
+                                        len(files))
+    if not getattr(args, "quiet", False) or new:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(analysis.render_json(new, grandfathered, rules,
+                                            len(files)))
+        if not getattr(args, "quiet", False):
+            print(f"json report written to {out}", file=sys.stderr)
+    return 1 if new else 0
+
+
 def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by every subcommand."""
     parser.add_argument(
@@ -297,8 +363,33 @@ def build_parser() -> argparse.ArgumentParser:
              "merged into the printed tree)")
     profile_cmd.set_defaults(func=_cmd_profile)
 
+    analyze_cmd = sub.add_parser(
+        "analyze",
+        help="run the AST invariant linter over src/ and tests/")
+    analyze_cmd.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: the checkout's "
+             "src/ and tests/)")
+    analyze_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format printed to stdout")
+    analyze_cmd.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)")
+    analyze_cmd.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of grandfathered violations (default: "
+             "<repo>/.analysis-baseline.json)")
+    analyze_cmd.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather every current finding")
+    analyze_cmd.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline and report every violation as new")
+    analyze_cmd.set_defaults(func=_cmd_analyze)
+
     for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,
-                    validate_cmd, profile_cmd):
+                    validate_cmd, profile_cmd, analyze_cmd):
         _add_common_flags(command)
     return parser
 

@@ -28,7 +28,7 @@ from repro.core.scaling import ScaledSoC
 from repro.dnn.network import Network
 from repro.obs.metrics import inc
 from repro.obs.trace import span
-from repro.units import SAFE_POWER_DENSITY
+from repro.units import SAFE_POWER_DENSITY, ms
 
 #: Brain reaction time used as the real-time bound (Section 2, ~0.18 s).
 BRAIN_REACTION_TIME_S = 0.18
@@ -50,7 +50,7 @@ class StimulationConfig:
     n_electrodes: int = 16
     pulse_rate_hz: float = 100.0
     amplitude_a: float = 100e-6
-    pulse_width_s: float = 200e-6
+    pulse_width_s: float = ms(0.2)
     electrode_impedance_ohm: float = 10e3
     driver_overhead: float = 1.5
 

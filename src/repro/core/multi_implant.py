@@ -22,7 +22,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.scaling import ScaledSoC
-from repro.units import cm2
+from repro.units import cm2, gbps
 
 
 #: Usable human cortical surface for subdural tiles (both hemispheres'
@@ -31,7 +31,7 @@ from repro.units import cm2
 DEFAULT_CORTICAL_AREA_M2 = cm2(400.0)
 
 #: Aggregate data rate a single wearable receiver front end can take.
-DEFAULT_WEARABLE_BANDWIDTH_BPS = 1e9
+DEFAULT_WEARABLE_BANDWIDTH_BPS = gbps(1.0)
 
 
 @dataclass(frozen=True)

@@ -71,7 +71,7 @@ def fmac_conv1d(in_channels: int, out_channels: int, kernel_size: int,
 
 
 def fmac_matmul_example() -> LayerMacs:
-    """Fig. 8, top: A(4x3) @ B(3x4) => #MACop = rows_A = 4, MACseq = rows_B = 3.
+    """Fig. 8, top: A(4x3) @ B(3x4) => #MACop = 4, MACseq = rows_B = 3.
 
     (The paper treats each row of A as one MACop streaming across B's
     columns; the accumulate depth per output element is rows_B.)

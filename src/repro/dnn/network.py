@@ -156,7 +156,8 @@ class Network:
             for grad in layer.gradients:
                 grad[...] = 0.0
 
-    def head(self, n_compute_layers: int, name: str | None = None) -> "Network":
+    def head(self, n_compute_layers: int,
+             name: str | None = None) -> "Network":
         """The sub-network up to and including the n-th compute layer.
 
         This is the on-implant part after DNN partitioning (Section 6.1):

@@ -21,6 +21,8 @@ class ExperimentResult:
         rows: the regenerated data series, one dict per row.
         summary: headline scalars (crossovers, averages) used both by the
             renderers and by EXPERIMENTS.md.
+        columns: declared CSV column order (the driver's ``COLUMNS``
+            contract); :meth:`save_csv` uses it unless overridden.
         seed: base RNG seed of the run, if any (recorded in the
             manifest).
         derived_seed: the per-driver seed actually installed for the run
@@ -34,6 +36,7 @@ class ExperimentResult:
     title: str
     rows: list[dict[str, Any]]
     summary: dict[str, Any] = field(default_factory=dict)
+    columns: Sequence[str] | None = None
     seed: int | None = None
     derived_seed: int | None = None
     duration_s: float | None = None
@@ -48,7 +51,7 @@ class ExperimentResult:
         inputs that produced it.
         """
         path = write_csv(Path(output_dir) / f"{self.name}.csv", self.rows,
-                         columns)
+                         columns if columns is not None else self.columns)
         self.save_manifest(output_dir)
         return path
 

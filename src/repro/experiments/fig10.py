@@ -68,7 +68,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig10",
         title="Fig. 10: P_soc/P_budget with on-implant DNNs",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -50,7 +50,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig11",
         title="Fig. 11: channel gains from implant/wearable partitioning",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

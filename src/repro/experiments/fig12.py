@@ -50,7 +50,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig12",
         title="Fig. 12: feasible MLP size under combined optimizations",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -44,7 +44,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig4",
         title="Fig. 4: power vs area at 1024 channels (all below budget)",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

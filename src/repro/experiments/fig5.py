@@ -69,7 +69,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig5",
         title="Fig. 5: P_soc vs P_budget, naive and high-margin designs",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -58,7 +58,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig6",
         title="Fig. 6: sensing area / total area vs channel count",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

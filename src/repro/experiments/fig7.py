@@ -75,7 +75,7 @@ def run(budget: LinkBudget | None = None) -> ExperimentResult:
     return ExperimentResult(
         name="fig7",
         title="Fig. 7: minimum QAM efficiency vs channel count",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -49,7 +49,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="fig8",
         title="Fig. 8: #MACop / MACseq decomposition examples",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

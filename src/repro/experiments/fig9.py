@@ -33,7 +33,7 @@ def run(model: AcceleratorPowerModel | None = None) -> ExperimentResult:
     return ExperimentResult(
         name="fig9",
         title="Fig. 9: accelerator design points — PE power dominance",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -20,6 +20,9 @@ from repro.obs.trace import span
 #: The short-term scaling target the paper repeatedly discusses (2x).
 TARGET_CHANNELS = 2048
 
+COLUMNS = ["soc", "strategy", "max_channels", "power_ratio_at_2048",
+           "feasible_at_2048"]
+
 
 def run() -> ExperimentResult:
     """Build the frontier table."""
@@ -55,7 +58,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         name="frontier",
         title="Extension: strategy frontier across wireless SoCs",
-        rows=rows, summary=summary)
+        rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -6,7 +6,7 @@ from repro.core.socs import TABLE1
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
 from repro.obs.trace import span
-from repro.units import to_mm2, to_mw_per_cm2
+from repro.units import to_khz, to_mm2, to_mw_per_cm2
 
 COLUMNS = ["number", "name", "ni_type", "channels", "area_mm2",
            "power_density_mw_cm2", "sampling_khz", "wireless",
@@ -26,7 +26,7 @@ def run() -> ExperimentResult:
                 "area_mm2": to_mm2(record.area_m2),
                 "power_density_mw_cm2": to_mw_per_cm2(
                     record.power_density_w_m2),
-                "sampling_khz": record.sampling_hz / 1e3,
+                "sampling_khz": to_khz(record.sampling_hz),
                 "wireless": record.wireless,
                 "below_budget": record.below_budget,
             })
@@ -39,7 +39,7 @@ def run() -> ExperimentResult:
         }
     return ExperimentResult(name="table1",
                             title="Table 1: implanted SoC designs",
-                            rows=rows, summary=summary)
+                            rows=rows, summary=summary, columns=COLUMNS)
 
 
 def render(result: ExperimentResult) -> str:

@@ -82,7 +82,8 @@ class Packetizer:
     HEADER_BYTES = 2
     CRC_BYTES = 2
 
-    def __init__(self, payload_bytes: int = 256, sample_bits: int = 10) -> None:
+    def __init__(self, payload_bytes: int = 256,
+                 sample_bits: int = 10) -> None:
         if payload_bytes <= 0:
             raise ValueError("payload size must be positive")
         if sample_bits < 1 or sample_bits > 32:

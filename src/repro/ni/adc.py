@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.units import khz
+
 
 def quantize(signal: np.ndarray, bits: int,
              full_scale: float = 1.0) -> np.ndarray:
@@ -77,7 +79,7 @@ class AdcModel:
     """
 
     bits: int = 10
-    sampling_rate_hz: float = 8e3
+    sampling_rate_hz: float = khz(8.0)
     full_scale: float = 1.0
 
     def __post_init__(self) -> None:

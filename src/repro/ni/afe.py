@@ -18,10 +18,10 @@ sensing-power scaling (Eq. 5).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.units import BOLTZMANN, BODY_TEMPERATURE_K
-import math
+from repro.units import BOLTZMANN, BODY_TEMPERATURE_K, khz
 
 #: Thermal voltage kT/q at body temperature [V].
 THERMAL_VOLTAGE = BOLTZMANN * BODY_TEMPERATURE_K / 1.602176634e-19
@@ -88,7 +88,7 @@ class AnalogFrontEnd:
 
     nef: float = 3.0
     input_noise_vrms: float = 5e-6
-    bandwidth_hz: float = 5e3
+    bandwidth_hz: float = khz(5.0)
     supply_v: float = 1.2
     adc_overhead: float = 0.35
 

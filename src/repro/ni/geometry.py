@@ -85,7 +85,7 @@ class ArrayGeometry:
         return volumetric_efficiency(self.sensing_area_m2, self.total_area_m2)
 
     def meets_spacing_target(self, target_m: float = 20e-6) -> bool:
-        """True when average spacing satisfies the one-channel-per-neuron goal."""
+        """True when spacing satisfies the one-channel-per-neuron goal."""
         return self.spacing_m <= target_m
 
 

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.units import khz, pj
+
 
 @dataclass(frozen=True)
 class SpadImager:
@@ -36,12 +38,12 @@ class SpadImager:
     """
 
     n_pixels: int
-    frame_rate_hz: float = 1e3
-    signal_rate_hz: float = 5e4
-    dark_rate_hz: float = 2e3
+    frame_rate_hz: float = khz(1.0)
+    signal_rate_hz: float = khz(50.0)
+    dark_rate_hz: float = khz(2.0)
     counter_bits: int = 8
-    avalanche_energy_j: float = 5e-12
-    readout_energy_per_bit_j: float = 5e-13
+    avalanche_energy_j: float = pj(5.0)
+    readout_energy_per_bit_j: float = pj(0.5)
 
     def __post_init__(self) -> None:
         if self.n_pixels <= 0:

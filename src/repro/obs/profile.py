@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.obs.trace import Span
+from repro.units import to_ms
 
 __all__ = ["Hotspot", "hotspots", "render_hotspots"]
 
@@ -67,6 +68,6 @@ def render_hotspots(spots: list[Hotspot]) -> str:
         share = spot.self_s / total_self * 100.0
         lines.append(
             f"{spot.name.ljust(name_w)}  {spot.calls:>6d}  "
-            f"{spot.self_s * 1e3:>8.1f}ms  {spot.total_s * 1e3:>8.1f}ms  "
+            f"{to_ms(spot.self_s):>8.1f}ms  {to_ms(spot.total_s):>8.1f}ms  "
             f"{share:>5.1f}%")
     return "\n".join(lines)

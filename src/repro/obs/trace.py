@@ -30,6 +30,8 @@ import functools
 import json
 import threading
 import time
+
+from repro.units import to_ms, to_us
 from typing import Any, Callable, Iterable
 
 __all__ = ["Span", "Tracer", "TRACER", "span", "span_from_dict", "traced",
@@ -104,7 +106,7 @@ class Span:
             yield from child.walk()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+        return (f"Span({self.name!r}, {to_ms(self.duration_s):.3f} ms, "
                 f"{len(self.children)} children)")
 
 
@@ -237,8 +239,8 @@ def _fmt_duration(seconds: float) -> str:
     if seconds >= 1.0:
         return f"{seconds:.2f} s"
     if seconds >= 1e-3:
-        return f"{seconds * 1e3:.1f} ms"
-    return f"{seconds * 1e6:.1f} us"
+        return f"{to_ms(seconds):.1f} ms"
+    return f"{to_us(seconds):.1f} us"
 
 
 #: The process-wide tracer behind :func:`span`.

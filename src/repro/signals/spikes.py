@@ -43,7 +43,7 @@ def biphasic_spike_template(sampling_rate_hz: float,
                             depolarization_s: float = 2e-4,
                             repolarization_s: float = 6e-4,
                             amplitude: float = 1.0) -> np.ndarray:
-    """A biphasic extracellular spike: sharp negative trough, slow positive hump.
+    """Biphasic extracellular spike: sharp trough, slow positive hump.
 
     The shape is a difference of two exponential-rise/decay lobes, normalized
     so the trough magnitude equals ``amplitude``.
@@ -51,9 +51,11 @@ def biphasic_spike_template(sampling_rate_hz: float,
     _validate_rate(sampling_rate_hz)
     n = max(2, int(round(duration_s * sampling_rate_hz)))
     t = np.arange(n) / sampling_rate_hz
-    trough = -np.exp(-0.5 * ((t - 2 * depolarization_s) / depolarization_s) ** 2)
-    hump = 0.35 * np.exp(-0.5 * ((t - 2 * depolarization_s - 2 * repolarization_s)
-                                 / repolarization_s) ** 2)
+    trough = -np.exp(
+        -0.5 * ((t - 2 * depolarization_s) / depolarization_s) ** 2)
+    hump = 0.35 * np.exp(
+        -0.5 * ((t - 2 * depolarization_s - 2 * repolarization_s)
+                / repolarization_s) ** 2)
     shape = trough + hump
     peak = np.max(np.abs(shape))
     return amplitude * shape / peak

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import SAFE_POWER_DENSITY, to_mw, to_mw_per_cm2
+from repro.units import SAFE_POWER_DENSITY, to_mm2, to_mw, to_mw_per_cm2
 
 
 def power_density(power_w: float, area_m2: float) -> float:
@@ -67,7 +67,7 @@ class SafetyReport:
         """One-line human-readable summary."""
         verdict = "SAFE" if self.safe else "UNSAFE"
         return (f"{verdict}: {to_mw(self.power_w):.2f} mW over "
-                f"{self.area_m2 * 1e6:.1f} mm^2 = "
+                f"{to_mm2(self.area_m2):.1f} mm^2 = "
                 f"{to_mw_per_cm2(self.density_w_m2):.1f} mW/cm^2 "
                 f"(budget {to_mw(self.budget_w):.2f} mW, margin "
                 f"{to_mw(self.margin_w):+.2f} mW)")

@@ -28,6 +28,7 @@ from scipy.sparse import csr_matrix, lil_matrix
 from scipy.sparse.linalg import spsolve
 
 from repro.thermal.model import TissueThermalModel
+from repro.units import mm
 
 
 @dataclass(frozen=True)
@@ -42,12 +43,12 @@ class ChipThermalGrid:
         tissue: the perfused-tissue surface model (gives h_eff).
     """
 
-    width_m: float = 12e-3
-    height_m: float = 12e-3
+    width_m: float = mm(12.0)
+    height_m: float = mm(12.0)
     nx: int = 32
     ny: int = 32
     silicon_conductivity_w_mk: float = 148.0
-    thickness_m: float = 25e-6
+    thickness_m: float = mm(0.025)
     tissue: TissueThermalModel = TissueThermalModel()
 
     def __post_init__(self) -> None:

@@ -91,6 +91,11 @@ def to_cm2(m2: float) -> float:
     return m2 * 1e4
 
 
+def mm(value: float) -> float:
+    """Convert millimeters to meters."""
+    return value * 1e-3
+
+
 def um(value: float) -> float:
     """Convert micrometers to meters."""
     return value * 1e-6
@@ -129,6 +134,11 @@ def to_pj(joules: float) -> float:
     return joules * 1e12
 
 
+def fj(value: float) -> float:
+    """Convert femtojoules to joules."""
+    return value * 1e-15
+
+
 # --------------------------------------------------------------------------
 # Frequency / rate / time
 # --------------------------------------------------------------------------
@@ -136,6 +146,11 @@ def to_pj(joules: float) -> float:
 def khz(value: float) -> float:
     """Convert kilohertz to hertz."""
     return value * 1e3
+
+
+def to_khz(hz: float) -> float:
+    """Convert hertz to kilohertz."""
+    return hz / 1e3
 
 
 def mhz(value: float) -> float:
@@ -153,6 +168,11 @@ def to_mbps(bps: float) -> float:
     return bps * 1e-6
 
 
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return value * 1e9
+
+
 def ns(value: float) -> float:
     """Convert nanoseconds to seconds."""
     return value * 1e-9
@@ -166,6 +186,16 @@ def us(value: float) -> float:
 def ms(value: float) -> float:
     """Convert milliseconds to seconds."""
     return value * 1e-3
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
 
 
 # --------------------------------------------------------------------------

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.accel.schedule import best_schedule
 from repro.accel.tech import TECH_12NM, TechnologyNode
 from repro.dnn.network import Network
+from repro.units import mw
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,7 @@ class WearablePlatform:
     """
 
     tech: TechnologyNode = TECH_12NM
-    base_power_w: float = 10e-3
+    base_power_w: float = mw(10.0)
     battery: BatteryPack = BatteryPack()
 
     def __post_init__(self) -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.units import gbps, mw, pj
+
 
 @dataclass(frozen=True)
 class Receiver:
@@ -22,9 +24,9 @@ class Receiver:
         max_data_rate_bps: front-end bandwidth limit.
     """
 
-    energy_per_bit_j: float = 5e-12
-    front_end_power_w: float = 2e-3
-    max_data_rate_bps: float = 1e9
+    energy_per_bit_j: float = pj(5.0)
+    front_end_power_w: float = mw(2.0)
+    max_data_rate_bps: float = gbps(1.0)
 
     def __post_init__(self) -> None:
         if self.energy_per_bit_j < 0 or self.front_end_power_w < 0:

@@ -1,0 +1,5 @@
+"""Corpus fixture: registry with a broken and a missing driver."""
+
+from . import broken
+
+ALL_EXPERIMENTS = (broken, ghost)  # noqa: F821 - 'ghost' intentionally absent

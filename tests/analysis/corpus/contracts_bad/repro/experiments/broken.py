@@ -1,0 +1,5 @@
+"""Corpus fixture: driver violating every clause of the contract."""
+
+
+def run():
+    return ExperimentResult(name="other", rows=[])  # noqa: F821

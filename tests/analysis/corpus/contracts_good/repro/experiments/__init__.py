@@ -1,0 +1,5 @@
+"""Corpus fixture: registry whose driver honors the contract."""
+
+from . import okdriver
+
+ALL_EXPERIMENTS = (okdriver,)

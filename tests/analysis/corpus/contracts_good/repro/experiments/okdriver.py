@@ -1,0 +1,13 @@
+"""Corpus fixture: contract-clean driver."""
+
+COLUMNS = ["channel", "power_mw"]
+
+
+def run():
+    rows = [{"channel": 1, "power_mw": 0.5}]
+    return ExperimentResult(  # noqa: F821 - contract shape, never run
+        name="okdriver", rows=rows, columns=COLUMNS)
+
+
+def render(result):
+    return str(result)

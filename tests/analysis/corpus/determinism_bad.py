@@ -1,0 +1,12 @@
+"""Corpus fixture: ambient randomness in all four forbidden forms."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(n):
+    np.random.seed(42)
+    rng = np.random.default_rng(time.time_ns())
+    return [random.random() for _ in range(n)], rng.normal(size=n)

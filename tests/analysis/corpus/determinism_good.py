@@ -1,0 +1,7 @@
+"""Corpus fixture: randomness threaded through an injected Generator."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator, n: int):
+    return rng.normal(size=n)

@@ -1,0 +1,12 @@
+"""Corpus fixture: stale __all__ and a shared mutable default."""
+
+__all__ = ["encode", "missing_name"]
+
+
+def encode(values, accumulator=[]):
+    accumulator.extend(values)
+    return accumulator
+
+
+def decode(values):
+    return list(values)

@@ -1,0 +1,13 @@
+"""Corpus fixture: honest export surface, immutable defaults."""
+
+__all__ = ["decode", "encode"]
+
+
+def encode(values, accumulator=None):
+    out = [] if accumulator is None else accumulator
+    out.extend(values)
+    return out
+
+
+def decode(values):
+    return list(values)

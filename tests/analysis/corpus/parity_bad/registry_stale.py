@@ -1,0 +1,3 @@
+"""Corpus fixture: a PARITY_ORACLES registry naming absent callables."""
+
+PARITY_ORACLES = {"pack_fast": "pack_slow"}

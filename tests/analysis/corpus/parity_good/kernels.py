@@ -1,0 +1,12 @@
+"""Corpus fixture: kernel/oracle pair covered by a parity test."""
+
+
+def fold_bits(values):
+    return sum(v << i for i, v in enumerate(values))
+
+
+def fold_bits_reference(values):
+    total = 0
+    for i, v in enumerate(values):
+        total += v << i
+    return total

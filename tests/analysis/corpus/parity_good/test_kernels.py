@@ -1,0 +1,12 @@
+"""Corpus fixture: the parity test that satisfies the rule.
+
+Never collected by pytest (the corpus directory is excluded); it only
+needs to mention both halves of the pair.
+"""
+
+from parity_good.kernels import fold_bits, fold_bits_reference
+
+
+def test_fold_bits_matches_reference():
+    data = [1, 0, 1, 1]
+    assert fold_bits(data) == fold_bits_reference(data)

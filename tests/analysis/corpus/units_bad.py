@@ -1,0 +1,9 @@
+"""Corpus fixture: violates both checks of the units rule."""
+
+#: Check B: scientific literal bound to a unit-suffixed name.
+POWER_BUDGET_W = 38.9e-3
+
+
+def sensing_power_mw(total_w):
+    """Check A: bare power-of-ten factor in arithmetic."""
+    return total_w * 1e3

@@ -1,0 +1,18 @@
+"""Corpus fixture: clean under the units rule."""
+
+from repro.units import mw, to_mw
+
+POWER_BUDGET_W = mw(38.9)
+
+#: An acknowledged exception stays silent via inline suppression.
+HALF_SCALE = 1e3 * 0.5  # lint: ignore[units]
+
+
+def sensing_power_mw(total_w):
+    """Conversions go through the name-carrying helpers."""
+    return to_mw(total_w)
+
+
+def relative_error(a, b):
+    """Additive epsilons and comparisons never fire the rule."""
+    return abs(a - b) / (abs(b) + 1e-12)

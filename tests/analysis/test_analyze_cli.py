@@ -1,0 +1,83 @@
+"""End-to-end tests of ``python -m repro analyze``."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def test_corpus_fails_the_gate(capsys):
+    code = main(["analyze", str(CORPUS), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[units]" in out
+    assert "[determinism]" in out
+    assert "[parity-oracle]" in out
+    assert "[experiment-contract]" in out
+    assert "[export-hygiene]" in out
+    assert "16 new finding(s)" in out
+
+
+def test_json_report_structure(tmp_path, capsys):
+    report_path = tmp_path / "lint-report.json"
+    code = main(["analyze", str(CORPUS), "--no-baseline",
+                 "--format", "json", "--output", str(report_path)])
+    assert code == 1
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert report["counts"]["new"] == 16
+    assert report["counts"]["baselined"] == 0
+    assert sorted(rule["id"] for rule in report["rules"]) == [
+        "determinism", "experiment-contract", "export-hygiene",
+        "parity-oracle", "units"]
+    findings = report["findings"]
+    assert len(findings) == 16
+    sample = findings[0]
+    assert {"path", "line", "col", "rule", "message", "fingerprint",
+            "baselined"} <= set(sample)
+    assert all(not f["baselined"] for f in findings)
+    # stdout also carries the JSON document for piping
+    assert json.loads(capsys.readouterr().out)["counts"]["new"] == 16
+
+
+def test_update_baseline_then_gate_passes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = main(["analyze", str(CORPUS), "--baseline", str(baseline),
+                 "--update-baseline"])
+    assert code == 0
+    document = json.loads(baseline.read_text(encoding="utf-8"))
+    assert len(document["entries"]) == 16
+
+    capsys.readouterr()
+    code = main(["analyze", str(CORPUS), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 new finding(s), 16 baselined" in out
+
+
+def test_new_violation_breaks_a_baselined_gate(tmp_path, capsys):
+    fixture_dir = tmp_path / "pkg"
+    fixture_dir.mkdir()
+    target = fixture_dir / "power.py"
+    target.write_text("BUDGET_W = 40e-3\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    assert main(["analyze", str(fixture_dir), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    assert main(["analyze", str(fixture_dir),
+                 "--baseline", str(baseline)]) == 0
+
+    capsys.readouterr()
+    target.write_text("BUDGET_W = 40e-3\nLIMIT_HZ = 30e3\n",
+                      encoding="utf-8")
+    code = main(["analyze", str(fixture_dir), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "LIMIT_HZ" in out
+    assert "1 new finding(s) (units=1), 1 baselined" in out
+
+
+def test_analysis_errors_exit_two(tmp_path, capsys):
+    code = main(["analyze", str(tmp_path / "missing"), "--no-baseline"])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err

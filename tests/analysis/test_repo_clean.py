@@ -1,0 +1,29 @@
+"""Self-gate: the repository must stay clean under its own linter.
+
+This mirrors the CI ``analyze`` job inside the test suite, so a change
+that introduces a new invariant violation fails fast locally too.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_clean_under_committed_baseline(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["analyze"])
+    out = capsys.readouterr().out
+    assert code == 0, f"repository lint gate failed:\n{out}"
+    assert "0 new finding(s)" in out
+
+
+def test_default_scan_covers_both_trees(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    main(["analyze"])
+    out = capsys.readouterr().out
+    n_files = int(out.rsplit("analyzed ", 1)[1].split()[0])
+    src_count = sum(1 for _ in (REPO_ROOT / "src").rglob("*.py"))
+    assert n_files > src_count, (
+        "the default scan should include tests/ on top of src/")

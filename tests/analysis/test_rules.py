@@ -1,0 +1,134 @@
+"""Rule-level tests against the golden violation corpus."""
+
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (AnalysisError, all_rules, analyze_paths,
+                            collect_files, rule_by_id)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: Findings each corpus fixture is designed to produce.
+EXPECTED_BY_RULE = {
+    "determinism": 4,
+    "experiment-contract": 5,
+    "export-hygiene": 3,
+    "parity-oracle": 2,
+    "units": 2,
+}
+
+
+def test_registry_exposes_all_five_rules():
+    assert sorted(rule.rule_id for rule in all_rules()) == sorted(
+        EXPECTED_BY_RULE)
+    assert rule_by_id("units").rule_id == "units"
+    with pytest.raises(KeyError):
+        rule_by_id("no-such-rule")
+
+
+def test_corpus_totals_by_rule():
+    findings = analyze_paths([CORPUS])
+    assert Counter(f.rule for f in findings) == EXPECTED_BY_RULE
+
+
+def test_good_fixtures_are_clean():
+    findings = analyze_paths([CORPUS])
+    offenders = [f for f in findings if "good" in f.path]
+    assert offenders == []
+
+
+def test_units_rule_flags_both_checks():
+    findings = analyze_paths([CORPUS / "units_bad.py"])
+    messages = sorted(f.message for f in findings)
+    assert len(findings) == 2
+    assert any("bare power-of-ten factor" in m for m in messages)
+    assert any("unit-suffixed binding 'POWER_BUDGET_W'" in m
+               for m in messages)
+
+
+def test_units_rule_suppression_and_epsilons():
+    assert analyze_paths([CORPUS / "units_good.py"]) == []
+
+
+def test_units_rule_fires_without_suppression(tmp_path):
+    clean = (CORPUS / "units_good.py").read_text(encoding="utf-8")
+    stripped = clean.replace("  # lint: ignore[units]", "")
+    target = tmp_path / "resuppressed.py"
+    target.write_text(stripped, encoding="utf-8")
+    findings = analyze_paths([target])
+    assert [f.rule for f in findings] == ["units"]
+
+
+def test_determinism_rule_catalogue():
+    findings = analyze_paths([CORPUS / "determinism_bad.py"])
+    assert len(findings) == 4
+    blob = " | ".join(f.message for f in findings)
+    assert "stdlib 'random'" in blob
+    assert "np.random.seed" in blob
+    assert "internal default_rng()" in blob
+    assert "time-derived RNG seed" in blob
+    assert analyze_paths([CORPUS / "determinism_good.py"]) == []
+
+
+def test_parity_rule_untested_pair_and_stale_registry():
+    findings = analyze_paths([CORPUS / "parity_bad"])
+    assert len(findings) == 2
+    blob = " | ".join(f.message for f in findings)
+    assert "'assemble' has parity oracle 'assemble_reference'" in blob
+    assert "PARITY_ORACLES names 'pack_fast'" in blob
+
+
+def test_parity_rule_satisfied_by_covering_test():
+    assert analyze_paths([CORPUS / "parity_good"]) == []
+
+
+def test_contract_rule_broken_driver_and_missing_module():
+    findings = analyze_paths([CORPUS / "contracts_bad"])
+    assert len(findings) == 5
+    blob = " | ".join(f.message for f in findings)
+    assert "missing module-level def render()" in blob
+    assert "missing non-empty COLUMNS" in blob
+    assert "name= must be 'broken'" in blob
+    assert "columns=COLUMNS" in blob
+    assert "'ghost' has no module ghost.py" in blob
+
+
+def test_contract_rule_clean_driver():
+    assert analyze_paths([CORPUS / "contracts_good"]) == []
+
+
+def test_export_rule_catalogue():
+    findings = analyze_paths([CORPUS / "exports_bad.py"])
+    assert len(findings) == 3
+    blob = " | ".join(f.message for f in findings)
+    assert "__all__ exports 'missing_name'" in blob
+    assert "public function 'decode' missing from __all__" in blob
+    assert "mutable default argument (list) in encode" in blob
+    assert analyze_paths([CORPUS / "exports_good.py"]) == []
+
+
+def test_default_scan_skips_corpus_directories():
+    files = collect_files([Path(__file__).parent])
+    assert files, "the analysis test package itself should be scanned"
+    assert all("corpus" not in parsed.path.parts for parsed in files)
+
+
+def test_syntax_errors_are_analysis_errors(tmp_path):
+    bad = tmp_path / "broken_syntax.py"
+    bad.write_text("def half:\n", encoding="utf-8")
+    with pytest.raises(AnalysisError, match="syntax error"):
+        analyze_paths([bad])
+
+
+def test_missing_path_is_an_analysis_error():
+    with pytest.raises(AnalysisError, match="no such path"):
+        analyze_paths([CORPUS / "does_not_exist"])
+
+
+def test_findings_are_sorted_and_stable():
+    first = analyze_paths([CORPUS])
+    second = analyze_paths([CORPUS])
+    assert first == second
+    assert first == sorted(first)
