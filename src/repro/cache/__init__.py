@@ -1,0 +1,85 @@
+"""repro.cache: content-addressed incremental recompute.
+
+Persistent result caching for the evaluation pipeline.  A cache entry's
+key is a sha256 over everything the result depends on — the transitive
+source fingerprint of the producing module's in-package import closure
+(:mod:`repro.cache.fingerprint`), the call inputs and seeds, and the
+Python/NumPy versions (:mod:`repro.cache.keys`) — so entries invalidate
+exactly when provenance changes and never otherwise.
+
+Two granularities share one on-disk store (:mod:`repro.cache.store`,
+``results/.cache`` by default, multi-process safe):
+
+* **whole-driver** entries (:mod:`repro.cache.runner`) replay a full
+  :class:`~repro.experiments.base.ExperimentResult` including its
+  byte-exact CSV;
+* **stage** entries (:mod:`repro.cache.stages`) memoize the expensive
+  inner computations — BER sweeps, decoder training, thermal solves —
+  so an edited driver still reuses the stages it did not touch.
+
+Enabled with ``python -m repro evaluate --cache`` (and ``profile
+--cache``); inspected with ``python -m repro cache {stats,clear,gc}``.
+"""
+
+from repro.cache.fingerprint import (
+    clear_cached_fingerprints,
+    default_root,
+    fingerprint,
+    import_closure,
+    module_imports,
+    module_source_path,
+    source_digest,
+)
+from repro.cache.keys import (
+    KEY_SCHEMA_VERSION,
+    driver_key,
+    environment_fields,
+    stage_key,
+    value_digest,
+)
+from repro.cache.runner import (
+    CACHE_DIR_NAME,
+    result_from_payload,
+    result_payload,
+    run_and_save_cached,
+    store_for,
+)
+from repro.cache.stages import (
+    active_store,
+    cached_stage,
+    decode_result,
+    encode_result,
+    generator_state,
+    restore_generator,
+    stage_caching,
+)
+from repro.cache.store import STORE_SCHEMA_VERSION, CacheStore
+
+__all__ = [
+    "CACHE_DIR_NAME",
+    "CacheStore",
+    "KEY_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "active_store",
+    "cached_stage",
+    "clear_cached_fingerprints",
+    "decode_result",
+    "default_root",
+    "driver_key",
+    "encode_result",
+    "environment_fields",
+    "fingerprint",
+    "generator_state",
+    "import_closure",
+    "module_imports",
+    "module_source_path",
+    "restore_generator",
+    "result_from_payload",
+    "result_payload",
+    "run_and_save_cached",
+    "source_digest",
+    "stage_caching",
+    "stage_key",
+    "store_for",
+    "value_digest",
+]

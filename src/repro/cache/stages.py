@@ -1,0 +1,211 @@
+"""Stage-level memoization: ``@cached_stage`` and the active-store
+runtime.
+
+Whole-driver caching (:mod:`repro.cache.runner`) reuses a run only when
+*nothing* in the driver's closure changed.  Stage caching is the finer
+grain: the expensive inner computations — Monte-Carlo BER sweeps
+(:func:`repro.link.channel.measure_ber_sweep`), DNN decoder training
+(:meth:`repro.decoders.dnn_decoder.DnnDecoder.fit`), thermal solves
+(:meth:`repro.thermal.grid.ChipThermalGrid.solve`) — are keyed on their
+*own* module closures and inputs, so an edited driver still reuses every
+stage it did not touch.
+
+Stage caching is inert until a store is activated
+(:func:`stage_caching` / :func:`activate`); the cached runner activates
+it for the duration of each cached run, including inside parallel
+workers.  A decorated function called outside an active window runs
+exactly as before — zero behavior change for existing callers and
+tests.
+
+RNG discipline — the part that keeps warm runs byte-identical: a stage
+that consumes a :class:`numpy.random.Generator` advances it.  The
+wrapper therefore folds the generator's *pre-call* bit-generator state
+into the key, stores the *post-call* state with the result, and on a
+hit restores the post-call state onto the caller's generator — every
+downstream draw then matches the cold run exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import functools
+import hashlib
+import inspect
+from typing import Any, Callable, Iterator
+
+from repro.analysis.engine import AnalysisError
+from repro.cache.fingerprint import fingerprint
+from repro.cache.keys import stage_key
+from repro.cache.store import CacheStore
+from repro.obs.metrics import inc
+from repro.obs.trace import span
+
+__all__ = ["activate", "active_store", "cached_stage", "deactivate",
+           "decode_result", "encode_result", "generator_state",
+           "restore_generator", "stage_caching"]
+
+_ACTIVE: list[CacheStore] = []
+
+
+def activate(store: CacheStore) -> None:
+    """Make ``store`` the active stage cache (stack discipline)."""
+    _ACTIVE.append(store)
+
+
+def deactivate() -> None:
+    """Pop the most recently activated stage cache."""
+    if _ACTIVE:
+        _ACTIVE.pop()
+
+
+def active_store() -> CacheStore | None:
+    """The store stage calls currently memoize into, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def stage_caching(store: CacheStore | None) -> Iterator[None]:
+    """Activate a stage cache for the duration of a block.
+
+    ``None`` is accepted and means "leave caching as is", so callers
+    can pass an optional store through unconditionally.
+    """
+    if store is None:
+        yield
+        return
+    activate(store)
+    try:
+        yield
+    finally:
+        deactivate()
+
+
+# -- result (de)serialization ---------------------------------------------
+
+def encode_result(value: Any) -> Any:
+    """JSON-able encoding of a stage result.
+
+    NumPy arrays round-trip exactly (dtype, shape, raw bytes in
+    base64); NumPy scalars become their Python equivalents; tuples
+    become lists.
+    """
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        return {"__ndarray__": {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "data": base64.b64encode(array.tobytes()).decode("ascii"),
+        }}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [encode_result(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): encode_result(item)
+                for key, item in value.items()}
+    return value
+
+
+def decode_result(value: Any) -> Any:
+    """Inverse of :func:`encode_result` (lists stay lists)."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        packed = value.get("__ndarray__")
+        if isinstance(packed, dict) and set(packed) == {"dtype", "shape",
+                                                        "data"}:
+            raw = base64.b64decode(packed["data"])
+            array = np.frombuffer(raw, dtype=packed["dtype"])
+            return array.reshape(packed["shape"]).copy()
+        return {key: decode_result(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_result(item) for item in value]
+    return value
+
+
+# -- RNG state capture ----------------------------------------------------
+
+def generator_state(rng: Any) -> dict[str, Any]:
+    """JSON-able bit-generator state of a NumPy Generator."""
+    return rng.bit_generator.state
+
+
+def restore_generator(rng: Any, state: dict[str, Any]) -> None:
+    """Set a Generator's bit-generator state (the post-stage state
+    stored with a cache entry)."""
+    rng.bit_generator.state = state
+
+
+# -- the decorator --------------------------------------------------------
+
+def _module_fingerprint(module: str) -> str:
+    """Source fingerprint of a stage's module, with a name-only
+    fallback for modules outside the ``repro`` tree (test helpers,
+    scripts): those still cache, keyed on the module name, but without
+    source-based invalidation."""
+    try:
+        return fingerprint(module)
+    except AnalysisError:
+        return hashlib.sha256(module.encode("utf-8")).hexdigest()
+
+
+def cached_stage(stage: str,
+                 rng_arg: str | None = None) -> Callable:
+    """Memoize a stage function through the active cache store.
+
+    Args:
+        stage: stable stage id recorded in keys, spans, and metrics.
+        rng_arg: name of the function's Generator parameter, if it has
+            one.  A ``None`` argument value is resolved through
+            :func:`repro.obs.manifest.seeded_rng` (matching the
+            conventional in-function default) so the state capture sees
+            the generator the stage would actually use.
+
+    The wrapped function behaves identically when no store is active.
+    """
+    def decorate(func: Callable) -> Callable:
+        signature = inspect.signature(func)
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            store = active_store()
+            if store is None:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            rng = None
+            if rng_arg is not None:
+                rng = bound.arguments.get(rng_arg)
+                if rng is None:
+                    from repro.obs.manifest import seeded_rng
+                    rng = seeded_rng()
+                    bound.arguments[rng_arg] = rng
+            parts: dict[str, Any] = {
+                "args": {name: value
+                         for name, value in bound.arguments.items()
+                         if name != rng_arg},
+                "rng": generator_state(rng) if rng is not None else None,
+            }
+            key = stage_key(stage, _module_fingerprint(func.__module__),
+                            parts)
+            entry = store.get(key)
+            if entry is not None:
+                inc("cache.stage_hits")
+                payload = entry["payload"]
+                with span("cache.stage_hit", stage=stage):
+                    if rng is not None and payload.get("rng_state"):
+                        restore_generator(rng, payload["rng_state"])
+                    return decode_result(payload["result"])
+            inc("cache.stage_misses")
+            result = func(*bound.args, **bound.kwargs)
+            payload = {"result": encode_result(result)}
+            if rng is not None:
+                payload["rng_state"] = generator_state(rng)
+            store.put(key, payload, kind="stage", label=stage)
+            return result
+
+        return wrapper
+    return decorate

@@ -1,0 +1,240 @@
+"""Persistent content-addressed result store under ``<output>/.cache``.
+
+Entries are JSON files named by their sha256 key, sharded into two-hex
+subdirectories (``.cache/ab/ab12....json``).  The store is safe to share
+between the parallel runner's worker processes:
+
+* **atomic publication** — entries are written to a same-directory temp
+  file and ``os.replace``d into place, so readers only ever observe a
+  missing file or a complete entry, never a partial one;
+* **file-lock serialization** — mutating operations (put, clear, gc)
+  hold an exclusive ``fcntl`` lock on ``.cache/.lock``; platforms
+  without ``fcntl`` fall back to atomic-rename-only semantics, which is
+  still lossless (last writer of identical content wins).
+
+Reads are lock-free: a torn or corrupt entry (e.g. a crashed writer on a
+non-atomic filesystem) deserializes as a miss and is deleted.  Every
+lookup is recorded as a ``cache.get`` span and counted into the metrics
+registry (``cache.hits`` / ``cache.misses`` plus per-kind counters), so
+cached runs stay observable end to end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.metrics import inc
+from repro.obs.trace import span
+
+__all__ = ["CacheStore", "STORE_SCHEMA_VERSION"]
+
+#: Entry layout version; bump on incompatible entry-shape changes.
+STORE_SCHEMA_VERSION = 1
+
+#: Seconds per day, for the gc max-age policy.
+_DAY_S = 86400.0
+
+try:  # pragma: no cover - fcntl is present on every POSIX platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+class CacheStore:
+    """One on-disk cache rooted at a directory (usually
+    ``results/.cache``).
+
+    Args:
+        root: cache directory; created lazily on first write.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    # -- paths and locking ------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        """Where an entry with this key lives (whether or not it
+        exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    @contextlib.contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Exclusive advisory lock over store mutations."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / ".lock").open("a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- core API ---------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored entry for ``key``, or None on a miss.
+
+        Corrupt entries count as misses and are removed so a later put
+        can heal them.
+        """
+        path = self.entry_path(key)
+        with span("cache.get", key=key[:12]) as current:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                entry = None
+            else:
+                try:
+                    entry = json.loads(text)
+                except ValueError:
+                    entry = None
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+            hit = entry is not None
+            current.set(hit=hit)
+        inc("cache.hits" if hit else "cache.misses")
+        if entry is not None:
+            inc(f"cache.{entry.get('kind', 'unknown')}.hits")
+        return entry
+
+    def put(self, key: str, payload: dict[str, Any], kind: str,
+            label: str) -> Path:
+        """Atomically publish an entry; returns its path.
+
+        Args:
+            key: content-address (sha256 hex) of the entry.
+            payload: JSON-able result payload.
+            kind: entry class (``"driver"`` or ``"stage"``) used by
+                stats and metrics.
+            label: human-readable producer id (experiment or stage
+                name).
+        """
+        entry = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "kind": kind,
+            "label": label,
+            "created_unix_s": time.time(),
+            "payload": payload,
+        }
+        text = json.dumps(entry, sort_keys=True)
+        path = self.entry_path(key)
+        with span("cache.put", key=key[:12], kind=kind):
+            with self._lock():
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+                tmp.write_text(text, encoding="utf-8")
+                os.replace(tmp, path)
+        inc("cache.puts")
+        inc(f"cache.{kind}.puts")
+        return path
+
+    def contains(self, key: str) -> bool:
+        """True when an entry file exists for ``key`` (no validation)."""
+        return self.entry_path(key).is_file()
+
+    # -- maintenance ------------------------------------------------------
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(path for path in self.root.glob("??/*.json")
+                      if not path.name.endswith(".lock"))
+
+    def stats(self) -> dict[str, Any]:
+        """Entry counts, byte totals, and per-kind/label breakdowns."""
+        files = self._entry_files()
+        by_kind: dict[str, int] = {}
+        by_label: dict[str, int] = {}
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for path in files:
+            total_bytes += path.stat().st_size
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                by_kind["corrupt"] = by_kind.get("corrupt", 0) + 1
+                continue
+            kind = str(entry.get("kind", "unknown"))
+            label = str(entry.get("label", "unknown"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            by_label[label] = by_label.get(label, 0) + 1
+            created = entry.get("created_unix_s")
+            if isinstance(created, (int, float)):
+                oldest = created if oldest is None else min(oldest,
+                                                            created)
+                newest = created if newest is None else max(newest,
+                                                            created)
+        return {
+            "root": str(self.root),
+            "entries": len(files),
+            "total_bytes": total_bytes,
+            "by_kind": dict(sorted(by_kind.items())),
+            "by_label": dict(sorted(by_label.items())),
+            "oldest_unix_s": oldest,
+            "newest_unix_s": newest,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        with self._lock():
+            files = self._entry_files()
+            for path in files:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        return len(files)
+
+    def gc(self, max_age_days: float | None = None,
+           max_bytes: int | None = None) -> dict[str, int]:
+        """Prune the store by age, then by size.
+
+        Policy (documented in ``docs/PERFORMANCE.md``):
+
+        1. entries older than ``max_age_days`` (by stored creation
+           time, falling back to file mtime) are removed;
+        2. if the remainder still exceeds ``max_bytes``, oldest entries
+           are removed first until the store fits.
+
+        Returns:
+            ``{"removed": n, "kept": m, "kept_bytes": b}``.
+        """
+        removed = 0
+        with self._lock():
+            aged: list[tuple[float, int, Path]] = []
+            now = time.time()
+            for path in self._entry_files():
+                size = path.stat().st_size
+                created = path.stat().st_mtime
+                with contextlib.suppress(OSError, ValueError):
+                    entry = json.loads(path.read_text(encoding="utf-8"))
+                    stamp = entry.get("created_unix_s")
+                    if isinstance(stamp, (int, float)):
+                        created = float(stamp)
+                if (max_age_days is not None
+                        and now - created > max_age_days * _DAY_S):
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                        removed += 1
+                        continue
+                aged.append((created, size, path))
+            aged.sort()
+            kept_bytes = sum(size for _, size, _ in aged)
+            if max_bytes is not None:
+                while aged and kept_bytes > max_bytes:
+                    _, size, path = aged.pop(0)
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                        removed += 1
+                        kept_bytes -= size
+        inc("cache.gc_removed", removed)
+        return {"removed": removed, "kept": len(aged),
+                "kept_bytes": kept_bytes}

@@ -5,7 +5,9 @@ Commands:
 * ``list`` — list the Table 1 designs.
 * ``evaluate [NAMES...]`` — regenerate paper tables/figures (default all),
   printing each rendering and writing CSVs + run manifests; ``--jobs N``
-  fans the drivers out to a process pool with identical artifacts.
+  fans the drivers out to a process pool with identical artifacts;
+  ``--cache`` replays unchanged drivers from the content-addressed
+  result cache (``<output-dir>/.cache``, see :mod:`repro.cache`).
 * ``assess SOC`` — scale one Table 1 design to 1024 channels and print its
   safety report and headline feasibility numbers.
 * ``explore SOC`` — run the full strategy comparison for one design.
@@ -20,6 +22,8 @@ Commands:
   over ``src/`` and ``tests/``; non-zero exit on findings not covered by
   the committed baseline.  ``--format json``/``--output`` for machine
   reports, ``--update-baseline`` to grandfather the current findings.
+* ``cache {stats,clear,gc}`` — inspect or prune the content-addressed
+  result cache under ``<output-dir>/.cache``.
 
 Global observability flags (valid after any subcommand):
 
@@ -60,6 +64,23 @@ def _known_experiments() -> dict[str, object]:
             for module in ALL_EXPERIMENTS + EXTENSION_EXPERIMENTS}
 
 
+def _jobs_error(jobs: int) -> bool:
+    """Shared ``--jobs`` validation: print the error and return True
+    when the value is invalid (negative)."""
+    if jobs < 0:
+        print("--jobs must be positive (or 0 for all CPUs)",
+              file=sys.stderr)
+        return True
+    return False
+
+
+def _print_cache_summary(results: list) -> None:
+    """One-line driver hit/miss summary for cached runs."""
+    hits = sum(1 for result in results
+               if result.cache_info and result.cache_info.get("hit"))
+    print(f"cache: {hits}/{len(results)} driver hits")
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     rows = [{"number": r.number, "name": r.name,
              "channels": r.n_channels, "wireless": r.wireless}
@@ -80,28 +101,39 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             return 2
     selected = [(name, module) for name, module in known.items()
                 if not wanted or name in wanted]
-    if args.jobs < 0:
-        print("--jobs must be positive (or 0 for all CPUs)",
-              file=sys.stderr)
+    if _jobs_error(args.jobs):
         return 2
     if args.jobs != 1 and len(selected) > 1:
         from repro.perf import run_parallel
         results = run_parallel([module for _, module in selected],
                                output_dir=args.output_dir, jobs=args.jobs,
-                               seed=args.seed)
+                               seed=args.seed, cache=args.cache)
         if not args.quiet:
             for (_, module), result in zip(selected, results):
                 print(f"== {result.title} ==")
                 print(module.render(result))
                 print()
+        if args.cache:
+            _print_cache_summary(results)
         return 0
+    if args.cache:
+        from repro.cache import run_and_save_cached, store_for
+        store = store_for(args.output_dir)
+    results = []
     for _, module in selected:
-        result = run_module(module, seed=args.seed)
-        result.save_csv(args.output_dir)
+        if args.cache:
+            result = run_and_save_cached(module, args.output_dir,
+                                         seed=args.seed, store=store)
+        else:
+            result = run_module(module, seed=args.seed)
+            result.save_csv(args.output_dir)
+        results.append(result)
         if not args.quiet:
             print(f"== {result.title} ==")
             print(module.render(result))
             print()
+    if args.cache:
+        _print_cache_summary(results)
     return 0
 
 
@@ -192,17 +224,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; "
               f"available: {sorted(known)} (or 'all')", file=sys.stderr)
         return 2
-    if args.jobs < 0:
-        print("--jobs must be positive (or 0 for all CPUs)",
-              file=sys.stderr)
+    if _jobs_error(args.jobs):
         return 2
     obs.enable_tracing()
     obs.enable_metrics()
     if args.experiment == "all":
         from repro.experiments import run_all
         run_all(output_dir=DEFAULT_OUTPUT_DIR, seed=args.seed,
-                jobs=args.jobs)
+                jobs=args.jobs, cache=args.cache)
         title = f"full evaluation (jobs={args.jobs})"
+    elif args.cache:
+        from repro.cache import run_and_save_cached
+        result = run_and_save_cached(known[args.experiment],
+                                     DEFAULT_OUTPUT_DIR, seed=args.seed)
+        title = result.title
     else:
         result = run_module(known[args.experiment], seed=args.seed)
         title = result.title
@@ -285,6 +320,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if new else 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import store_for
+
+    store = store_for(args.output_dir)
+    if args.action == "stats":
+        print(json.dumps(store.stats(), indent=2))
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cache cleared: {removed} entries removed "
+              f"({store.root})")
+        return 0
+    report = store.gc(max_age_days=args.max_age_days,
+                      max_bytes=args.max_bytes)
+    print(f"cache gc: removed {report['removed']}, "
+          f"kept {report['kept']} ({report['kept_bytes']} bytes)")
+    return 0
+
+
 def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by every subcommand."""
     parser.add_argument(
@@ -322,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment fan-out (1 = serial, "
              "0 = all CPUs); artifacts are byte-identical either way "
              "for a fixed --seed")
+    evaluate.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="replay unchanged drivers from the content-addressed "
+             "result cache under <output-dir>/.cache")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     assess = sub.add_parser("assess",
@@ -361,6 +419,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes when profiling 'all' (worker spans are "
              "merged into the printed tree)")
+    profile_cmd.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="run the profiled experiments through the result cache "
+             "(cache spans appear in the tree)")
     profile_cmd.set_defaults(func=_cmd_profile)
 
     analyze_cmd = sub.add_parser(
@@ -388,8 +450,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the baseline and report every violation as new")
     analyze_cmd.set_defaults(func=_cmd_analyze)
 
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed result cache")
+    cache_cmd.add_argument("action", choices=("stats", "clear", "gc"),
+                           help="stats: entry/size breakdown; clear: "
+                                "drop everything; gc: prune by age "
+                                "then size")
+    cache_cmd.add_argument("--output-dir",
+                           default=str(DEFAULT_OUTPUT_DIR),
+                           help="run output directory whose .cache to "
+                                "operate on")
+    cache_cmd.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="gc: remove entries older than this many days")
+    cache_cmd.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="gc: then remove oldest entries until the store fits")
+    cache_cmd.set_defaults(func=_cmd_cache)
+
     for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,
-                    validate_cmd, profile_cmd, analyze_cmd):
+                    validate_cmd, profile_cmd, analyze_cmd, cache_cmd):
         _add_common_flags(command)
     return parser
 

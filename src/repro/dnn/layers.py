@@ -144,6 +144,47 @@ class Dense(Layer):
         return self.in_features * self.out_features + self.out_features
 
 
+def _scatter_cols(grad_cols: np.ndarray, padded_len: int) -> np.ndarray:
+    """col2im fold: scatter-add column gradients back onto the input.
+
+    Vectorized production path: each padded input position ``i``
+    receives ``grad_cols[:, i - k, :, k]`` summed over tap ``k``.
+    Padding the output-position axis by ``kernel_size - 1`` on each side
+    turns those anti-diagonals into the main diagonals of length-``k``
+    sliding windows (tap axis reversed), which one einsum reduces in the
+    same ascending-``k`` order as the reference loop — the sums match
+    it bit for bit (``tests/dnn/test_layers.py``).
+
+    Args:
+        grad_cols: (batch, out_len, in_channels, kernel_size) gradient
+            w.r.t. the im2col columns.
+        padded_len: padded input length ``out_len + kernel_size - 1``.
+
+    Returns:
+        (batch, in_channels, padded_len) gradient w.r.t. the padded
+        input.
+    """
+    kernel_size = grad_cols.shape[-1]
+    g = grad_cols.transpose(0, 2, 1, 3)  # (batch, ch, out_len, k)
+    edge = kernel_size - 1
+    padded = np.pad(g, ((0, 0), (0, 0), (edge, edge), (0, 0)))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, kernel_size, axis=2)[..., ::-1]
+    return np.einsum("bcimm->bci", windows)
+
+
+def _scatter_cols_reference(grad_cols: np.ndarray,
+                            padded_len: int) -> np.ndarray:
+    """Original per-tap loop, kept as the parity oracle for
+    :func:`_scatter_cols` (``tests/dnn/test_layers.py``)."""
+    batch, out_len, in_channels, kernel_size = grad_cols.shape
+    grad_x = np.zeros((batch, in_channels, padded_len))
+    for k in range(kernel_size):
+        grad_x[:, :, k:k + out_len] += grad_cols[:, :, :, k].transpose(
+            0, 2, 1)
+    return grad_x
+
+
 class Conv1D(Layer):
     """1-D convolution with stride 1 via im2col.
 
@@ -237,10 +278,7 @@ class Conv1D(Layer):
         grad_cols = grad_cols.reshape(batch, out_len, self.in_channels,
                                       self.kernel_size)
         padded_len = self._in_length + 2 * self.padding
-        grad_x = np.zeros((batch, self.in_channels, padded_len))
-        for k in range(self.kernel_size):
-            grad_x[:, :, k:k + out_len] += grad_cols[:, :, :, k].transpose(
-                0, 2, 1)
+        grad_x = _scatter_cols(grad_cols, padded_len)
         if self.padding:
             grad_x = grad_x[:, :, self.padding:-self.padding]
         return grad_x

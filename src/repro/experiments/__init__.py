@@ -94,7 +94,8 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
             verbose: bool = False,
             include_extensions: bool = False,
             seed: int | None = None,
-            jobs: int = 1) -> list[ExperimentResult]:
+            jobs: int = 1,
+            cache: bool = False) -> list[ExperimentResult]:
     """Run every experiment, saving one CSV (+ manifest) per
     figure/table.
 
@@ -107,6 +108,10 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
             pool (:func:`repro.perf.run_parallel`) with identical
             artifacts — per-driver seed derivation keeps the CSVs
             byte-identical to a serial run of the same seed.
+        cache: route every driver through the content-addressed cache
+            under ``<output_dir>/.cache``
+            (:func:`repro.cache.run_and_save_cached`); unchanged
+            drivers replay their stored results byte-for-byte.
 
     Returns:
         The results in paper order (extensions last).
@@ -116,7 +121,7 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
     if jobs != 1:
         from repro.perf.parallel import run_parallel
         results = run_parallel(modules, output_dir=output_dir, jobs=jobs,
-                               seed=seed)
+                               seed=seed, cache=cache)
         if verbose:
             for module, result in zip(modules, results):
                 print(f"== {result.title} ==")
@@ -124,10 +129,17 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
                 print()
         return results
     results = []
+    if cache:
+        from repro.cache import run_and_save_cached, store_for
+        store = store_for(output_dir)
     with span("experiments.run_all", n_experiments=len(modules)):
         for module in modules:
-            result = run_module(module, seed=seed)
-            result.save_csv(output_dir)
+            if cache:
+                result = run_and_save_cached(module, output_dir,
+                                             seed=seed, store=store)
+            else:
+                result = run_module(module, seed=seed)
+                result.save_csv(output_dir)
             if verbose:
                 print(f"== {result.title} ==")
                 print(module.render(result))

@@ -30,6 +30,13 @@ class ExperimentResult:
             ``name``), populated by :func:`repro.experiments.run_module`.
         duration_s: wall-clock runtime, populated by
             :func:`repro.experiments.run_module`.
+        cache_info: cache provenance (``{"hit", "key", "fingerprint"}``)
+            populated by :func:`repro.cache.run_and_save_cached` on
+            cached runs; None on uncached runs.  Recorded in the
+            manifest.
+        cached_csv_text: exact CSV text captured by a previous cold run;
+            when set, :meth:`save_csv` writes these bytes verbatim so
+            warm artifacts are byte-identical to cold ones.
     """
 
     name: str
@@ -40,6 +47,8 @@ class ExperimentResult:
     seed: int | None = None
     derived_seed: int | None = None
     duration_s: float | None = None
+    cache_info: dict[str, Any] | None = None
+    cached_csv_text: str | None = None
 
     def save_csv(self, output_dir: Path | str = DEFAULT_OUTPUT_DIR,
                  columns: Sequence[str] | None = None) -> Path:
@@ -49,9 +58,20 @@ class ExperimentResult:
         recording provenance (git SHA, versions, seed, duration, peak
         RSS) so the artifact can always be traced back to the code and
         inputs that produced it.
+
+        A cache replay (``cached_csv_text`` set) writes the captured
+        text verbatim instead of re-rendering the rows, guaranteeing
+        byte-identical warm artifacts.
         """
-        path = write_csv(Path(output_dir) / f"{self.name}.csv", self.rows,
-                         columns if columns is not None else self.columns)
+        path = Path(output_dir) / f"{self.name}.csv"
+        if self.cached_csv_text is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w", newline="", encoding="utf-8") as handle:
+                handle.write(self.cached_csv_text)
+        else:
+            path = write_csv(path, self.rows,
+                             columns if columns is not None
+                             else self.columns)
         self.save_manifest(output_dir)
         return path
 
@@ -59,10 +79,14 @@ class ExperimentResult:
                       ) -> Path:
         """Write ``<output_dir>/<name>.manifest.json`` and return its
         path."""
+        extra: dict[str, Any] = {"title": self.title,
+                                 "n_rows": len(self.rows),
+                                 "derived_seed": self.derived_seed}
+        if self.cache_info is not None:
+            extra["cache"] = self.cache_info
         manifest = build_manifest(
             self.name, seed=self.seed, duration_s=self.duration_s,
-            extra={"title": self.title, "n_rows": len(self.rows),
-                   "derived_seed": self.derived_seed})
+            extra=extra)
         return write_manifest(
             Path(output_dir) / f"{self.name}.manifest.json", manifest)
 

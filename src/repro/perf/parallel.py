@@ -59,12 +59,18 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def _run_one(name: str, seed: int | None, output_dir: str,
-             trace_on: bool, metrics_on: bool) -> dict[str, Any]:
+             trace_on: bool, metrics_on: bool,
+             cache: bool = False) -> dict[str, Any]:
     """Worker-side entry: run one driver, save its CSV, export obs state.
 
     Runs in the worker process.  Workers are reused across tasks (and,
     under fork, inherit the parent's obs state), so each task starts by
     resetting the tracer and registry to get a clean per-driver window.
+
+    With ``cache`` on, the driver goes through
+    :func:`repro.cache.run_and_save_cached` against the store under
+    ``output_dir`` — safe to share across workers (atomic writes +
+    file locking in :class:`repro.cache.CacheStore`).
     """
     import importlib
 
@@ -82,8 +88,12 @@ def _run_one(name: str, seed: int | None, output_dir: str,
         _metrics.disable()
 
     module = importlib.import_module(f"repro.experiments.{name}")
-    result = run_module(module, seed=seed)
-    result.save_csv(output_dir)
+    if cache:
+        from repro.cache import run_and_save_cached
+        result = run_and_save_cached(module, output_dir, seed=seed)
+    else:
+        result = run_module(module, seed=seed)
+        result.save_csv(output_dir)
     return {
         "name": name,
         "pid": os.getpid(),
@@ -111,7 +121,8 @@ def _merge_payload(payload: dict[str, Any]) -> None:
 def run_parallel(modules: Sequence[Any],
                  output_dir: Path | str,
                  jobs: int | None = None,
-                 seed: int | None = None) -> list[Any]:
+                 seed: int | None = None,
+                 cache: bool = False) -> list[Any]:
     """Run experiment drivers across a process pool.
 
     Args:
@@ -123,6 +134,9 @@ def run_parallel(modules: Sequence[Any],
         seed: base run seed; each driver derives its own from it
             (:func:`repro.perf.seeds.derive_driver_seed`), identically to
             the serial path.
+        cache: route each worker's driver through the shared
+            content-addressed cache under ``output_dir`` (see
+            :mod:`repro.cache`).
 
     Returns:
         The :class:`~repro.experiments.base.ExperimentResult` objects in
@@ -141,7 +155,7 @@ def run_parallel(modules: Sequence[Any],
         with ProcessPoolExecutor(max_workers=jobs,
                                  mp_context=_pool_context()) as pool:
             futures = [pool.submit(_run_one, name, seed, str(output_dir),
-                                   trace_on, metrics_on)
+                                   trace_on, metrics_on, cache)
                        for name in names]
             payloads = [future.result() for future in futures]
 

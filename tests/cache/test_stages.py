@@ -1,0 +1,221 @@
+"""Tests for stage-level memoization (repro.cache.stages).
+
+Covers the decorator runtime (inert without a store, hit/miss
+discipline, RNG fast-forward) and the three production stages it backs:
+BER sweeps, DNN decoder training, and thermal solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.stages import (
+    active_store,
+    cached_stage,
+    decode_result,
+    encode_result,
+    stage_caching,
+)
+from repro.cache.store import CacheStore
+from repro.decoders.dnn_decoder import DnnDecoder
+from repro.dnn.layers import Dense, Tanh
+from repro.dnn.network import Network
+from repro.link.channel import measure_ber_sweep
+from repro.link.modulation import QPSK
+from repro.thermal.grid import ChipThermalGrid
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CacheStore(tmp_path / ".cache")
+
+
+class TestEncodeDecode:
+    def test_ndarray_roundtrips_exactly(self):
+        array = np.random.default_rng(0).standard_normal((3, 5))
+        again = decode_result(encode_result(array))
+        assert again.dtype == array.dtype
+        assert np.array_equal(again, array)
+
+    def test_nested_structures(self):
+        value = {"a": [np.arange(4), {"b": np.float64(2.5)}],
+                 "c": "text", "d": None}
+        again = decode_result(encode_result(value))
+        assert np.array_equal(again["a"][0], np.arange(4))
+        assert again["a"][1]["b"] == 2.5
+        assert again["c"] == "text" and again["d"] is None
+
+    def test_int_dtypes_survive(self):
+        array = np.array([[1, 2], [3, 4]], dtype=np.int16)
+        again = decode_result(encode_result(array))
+        assert again.dtype == np.int16
+        assert np.array_equal(again, array)
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_store() is None
+
+    def test_window_scoped(self, store):
+        with stage_caching(store):
+            assert active_store() is store
+        assert active_store() is None
+
+    def test_none_store_is_noop(self):
+        with stage_caching(None):
+            assert active_store() is None
+
+    def test_nesting(self, store, tmp_path):
+        inner = CacheStore(tmp_path / "inner")
+        with stage_caching(store):
+            with stage_caching(inner):
+                assert active_store() is inner
+            assert active_store() is store
+
+
+class TestCachedStageDecorator:
+    def test_calls_through_without_store(self):
+        calls = []
+
+        @cached_stage("test.plain")
+        def stage(x):
+            calls.append(x)
+            return x * 2
+
+        assert stage(3) == 6 and stage(3) == 6
+        assert calls == [3, 3]  # no memoization outside a window
+
+    def test_second_call_hits(self, store):
+        calls = []
+
+        @cached_stage("test.hit")
+        def stage(x):
+            calls.append(x)
+            return np.full(4, x, dtype=float)
+
+        with stage_caching(store):
+            first = stage(5)
+            second = stage(5)
+        assert calls == [5]  # second call served from the store
+        assert np.array_equal(first, second)
+
+    def test_distinct_args_miss(self, store):
+        calls = []
+
+        @cached_stage("test.args")
+        def stage(x):
+            calls.append(x)
+            return x
+
+        with stage_caching(store):
+            stage(1), stage(2), stage(1)
+        assert calls == [1, 2]
+
+    def test_rng_fast_forward_matches_cold_run(self, store):
+        @cached_stage("test.rng", rng_arg="rng")
+        def stage(n, rng=None):
+            return rng.standard_normal(n)
+
+        cold_rng = np.random.default_rng(9)
+        with stage_caching(store):
+            cold = stage(8, rng=cold_rng)
+        cold_followup = cold_rng.standard_normal(3)
+
+        warm_rng = np.random.default_rng(9)
+        with stage_caching(store):
+            warm = stage(8, rng=warm_rng)
+        warm_followup = warm_rng.standard_normal(3)
+
+        assert np.array_equal(cold, warm)
+        # The hit fast-forwarded the generator: later draws line up too.
+        assert np.array_equal(cold_followup, warm_followup)
+
+
+class TestBerSweepStage:
+    def test_hit_reproduces_sweep_and_rng_state(self, store):
+        scheme = QPSK()
+        grid = np.array([2.0, 4.0, 6.0])
+
+        cold_rng = np.random.default_rng(7)
+        with stage_caching(store):
+            cold = measure_ber_sweep(scheme, grid, 20_000, rng=cold_rng)
+        warm_rng = np.random.default_rng(7)
+        with stage_caching(store):
+            warm = measure_ber_sweep(scheme, grid, 20_000, rng=warm_rng)
+
+        assert np.array_equal(cold, warm)
+        assert cold_rng.bit_generator.state == warm_rng.bit_generator.state
+        assert store.stats()["by_label"] == {"link.measure_ber_sweep": 1}
+
+    def test_uncached_behavior_unchanged(self):
+        scheme = QPSK()
+        grid = np.array([4.0])
+        a = measure_ber_sweep(scheme, grid, 10_000,
+                              rng=np.random.default_rng(3))
+        b = measure_ber_sweep(scheme, grid, 10_000,
+                              rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+def _decoder(rng):
+    net = Network([Dense(8, 16, rng=rng), Tanh(),
+                   Dense(16, 2, rng=rng)], input_shape=(8,))
+    return DnnDecoder(net, epochs=3, batch_size=16, learning_rate=0.1)
+
+
+class TestDecoderFitStage:
+    def test_hit_restores_params_history_and_rng(self, store):
+        data_rng = np.random.default_rng(0)
+        features = data_rng.standard_normal((64, 8))
+        targets = data_rng.standard_normal((64, 2))
+
+        cold_rng = np.random.default_rng(11)
+        cold = _decoder(np.random.default_rng(5))
+        with stage_caching(store):
+            cold_history = cold.fit(features, targets, cold_rng)
+
+        warm_rng = np.random.default_rng(11)
+        warm = _decoder(np.random.default_rng(5))
+        with stage_caching(store):
+            warm_history = warm.fit(features, targets, warm_rng)
+
+        assert warm_history == cold_history
+        assert warm.fitted
+        for cold_param, warm_param in zip(cold._parameters(),
+                                          warm._parameters()):
+            assert np.array_equal(cold_param, warm_param)
+        assert (cold_rng.bit_generator.state
+                == warm_rng.bit_generator.state)
+        assert store.stats()["by_label"] == {"decoders.dnn.fit": 1}
+
+    def test_different_init_misses(self, store):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((32, 8))
+        targets = rng.standard_normal((32, 2))
+        with stage_caching(store):
+            _decoder(np.random.default_rng(1)).fit(
+                features, targets, np.random.default_rng(2))
+            _decoder(np.random.default_rng(3)).fit(
+                features, targets, np.random.default_rng(2))
+        assert store.stats()["by_label"] == {"decoders.dnn.fit": 2}
+
+
+class TestThermalSolveStage:
+    def test_hit_matches_cold_solve(self, store):
+        grid = ChipThermalGrid(nx=12, ny=12)
+        power = grid.hotspot_map(0.03)
+        with stage_caching(store):
+            cold = grid.solve(power)
+        with stage_caching(store):
+            warm = grid.solve(power)
+        assert np.array_equal(cold, warm)
+        assert store.stats()["by_label"] == {"thermal.solve": 1}
+
+    def test_different_grid_misses(self, store):
+        power = np.zeros((12, 12))
+        with stage_caching(store):
+            ChipThermalGrid(nx=12, ny=12).solve(power)
+            ChipThermalGrid(nx=12, ny=12,
+                            thickness_m=5e-5).solve(power)
+        assert store.stats()["by_label"]["thermal.solve"] == 2

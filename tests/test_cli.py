@@ -183,3 +183,78 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCacheFlag:
+    def test_warm_run_reports_all_hits(self, capsys, tmp_path):
+        args = ["evaluate", "table1", "fig4", "--seed", "7", "--quiet",
+                "--cache", "--output-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "cache: 0/2 driver hits" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache: 2/2 driver hits" in capsys.readouterr().out
+        assert (tmp_path / ".cache").is_dir()
+
+    def test_no_cache_is_default(self, capsys, tmp_path):
+        assert main(["evaluate", "table1", "--quiet",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert "driver hits" not in capsys.readouterr().out
+        assert not (tmp_path / ".cache").exists()
+
+    def test_warm_csv_bytes_identical(self, capsys, tmp_path):
+        cached = ["evaluate", "fig4", "--seed", "7", "--quiet",
+                  "--cache", "--output-dir", str(tmp_path / "c")]
+        assert main(cached) == 0
+        cold = (tmp_path / "c" / "fig4.csv").read_bytes()
+        assert main(cached) == 0
+        assert (tmp_path / "c" / "fig4.csv").read_bytes() == cold
+        assert main(["evaluate", "fig4", "--seed", "7", "--quiet",
+                     "--output-dir", str(tmp_path / "p")]) == 0
+        assert (tmp_path / "p" / "fig4.csv").read_bytes() == cold
+
+    def test_profile_negative_jobs_rejected_same_message(self, capsys):
+        assert main(["profile", "all", "--jobs", "-2"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs must be positive (or 0 for all CPUs)" in err
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        assert main(["evaluate", "table1", "--seed", "7", "--quiet",
+                     "--cache", "--output-dir", str(tmp_path)]) == 0
+
+    def test_stats(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats",
+                     "--output-dir", str(tmp_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["by_kind"] == {"driver": 1}
+        assert stats["by_label"] == {"table1": 1}
+
+    def test_clear(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["cache", "clear",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert "1 entries removed" in capsys.readouterr().out
+        capsys.readouterr()
+        assert main(["cache", "stats",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_gc_with_no_limits_keeps_entries(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["cache", "gc", "--output-dir", str(tmp_path)]) == 0
+        assert "removed 0, kept 1" in capsys.readouterr().out
+
+    def test_gc_by_age_prunes(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["cache", "gc", "--max-age-days", "0",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert "removed 1, kept 0" in capsys.readouterr().out
+
+    def test_stats_on_missing_cache(self, capsys, tmp_path):
+        assert main(["cache", "stats",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
