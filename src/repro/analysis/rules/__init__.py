@@ -10,7 +10,9 @@ from repro.analysis.rules import (  # noqa: F401  (import == registration)
     determinism,
     exports,
     parity,
+    resilience,
     units,
 )
 
-__all__ = ["contracts", "determinism", "exports", "parity", "units"]
+__all__ = ["contracts", "determinism", "exports", "parity", "resilience",
+           "units"]

@@ -1,0 +1,112 @@
+"""Rule ``resilience``: errors are handled deliberately, retries end.
+
+The fault-injection layer (:mod:`repro.fault`) only proves recovery
+works because the recovery code is disciplined.  Two anti-patterns
+undermine that and are banned outright:
+
+* **bare ``except:``** — swallows ``KeyboardInterrupt``,
+  ``SystemExit``, and every injected fault indiscriminately, turning a
+  crash the retry loop should see into silent corruption.  Catch a
+  concrete exception type (``except ValueError:``) or, at the outermost
+  degradation boundary, ``except Exception:``.
+* **unbounded retry** — a ``while True:`` loop whose exception handler
+  ``continue``s without any way out (no ``break``, ``raise``, or
+  ``return`` in the handler).  Under a persistent fault this spins
+  forever; every retry loop must be bounded
+  (``for attempt in range(max_retries + 1)``, the idiom used by
+  :func:`repro.experiments.run_module_resilient`) or carry an explicit
+  exit in the handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+
+__all__ = ["ResilienceRule"]
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _handler_escapes(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body can leave the loop (break, raise, or
+    return anywhere inside it)."""
+    for child in ast.walk(handler):
+        if isinstance(child, (ast.Break, ast.Raise, ast.Return)):
+            return True
+    return False
+
+
+def _handler_continues(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-enters the loop via ``continue``
+    (falling off the handler's end also re-enters, but plain fall-
+    through usually follows a logging line before real work; the
+    explicit retry signature is ``continue``)."""
+    for child in ast.walk(handler):
+        if isinstance(child, ast.Continue):
+            return True
+    return False
+
+
+def _loop_handlers(loop: ast.While) -> Iterator[ast.ExceptHandler]:
+    """Except handlers belonging to tries directly inside this loop
+    (not inside a nested function or nested loop)."""
+    stack: list[ast.stmt] = list(loop.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.While, ast.For, ast.AsyncFor)):
+            continue
+        if isinstance(node, ast.Try):
+            yield from node.handlers
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, field, []))
+
+
+@register_rule
+class ResilienceRule(Rule):
+    """No bare except handlers; every retry loop must be bounded."""
+
+    rule_id = "resilience"
+    description = ("bare 'except:' handler, or unbounded while-True "
+                   "retry loop (handler continues without an exit)")
+
+    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+        for parsed in files:
+            yield from self._check_module(parsed)
+
+    def _check_module(self, parsed: ParsedFile) -> Iterator[Finding]:
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                found = self.finding(
+                    parsed, node,
+                    "bare 'except:' swallows KeyboardInterrupt and "
+                    "SystemExit; catch a concrete exception type (or "
+                    "'except Exception:' at a degradation boundary)")
+                if found is not None:
+                    yield found
+            elif isinstance(node, ast.While) and _is_while_true(node):
+                yield from self._check_retry_loop(parsed, node)
+
+    def _check_retry_loop(self, parsed: ParsedFile,
+                          loop: ast.While) -> Iterator[Finding]:
+        for handler in _loop_handlers(loop):
+            if _handler_continues(handler) and not _handler_escapes(
+                    handler):
+                found = self.finding(
+                    parsed, handler,
+                    "unbounded retry: 'while True' handler retries via "
+                    "'continue' with no break/raise/return; bound it "
+                    "('for attempt in range(max_retries + 1)') or add "
+                    "an explicit exit")
+                if found is not None:
+                    yield found

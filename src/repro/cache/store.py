@@ -12,8 +12,12 @@ between the parallel runner's worker processes:
   without ``fcntl`` fall back to atomic-rename-only semantics, which is
   still lossless (last writer of identical content wins).
 
-Reads are lock-free: a torn or corrupt entry (e.g. a crashed writer on a
-non-atomic filesystem) deserializes as a miss and is deleted.  Every
+Reads are lock-free: a torn or corrupt entry (truncated JSON, garbage, a
+key that does not match its filename) deserializes as a miss, increments
+the ``cache.corruption`` counter, and is moved into
+``.cache/quarantine/`` so a later put can heal the slot while the
+damaged bytes stay inspectable.  Temp files orphaned by a killed writer
+(``*.tmp-<pid>`` with a dead pid) are swept on the next put.  Every
 lookup is recorded as a ``cache.get`` span and counted into the metrics
 registry (``cache.hits`` / ``cache.misses`` plus per-kind counters), so
 cached runs stay observable end to end.
@@ -63,6 +67,12 @@ class CacheStore:
         exists)."""
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are parked for inspection (outside
+        the two-hex shard layout, so stats and gc never count them)."""
+        return self.root / "quarantine"
+
     @contextlib.contextmanager
     def _lock(self) -> Iterator[None]:
         """Exclusive advisory lock over store mutations."""
@@ -79,14 +89,30 @@ class CacheStore:
 
     # -- core API ---------------------------------------------------------
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry out of the shard tree (fall back to
+        deletion if the move fails) and count the corruption."""
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        inc("cache.corruption")
+        inc(f"cache.corruption.{reason}")
+
     def get(self, key: str) -> dict[str, Any] | None:
         """The stored entry for ``key``, or None on a miss.
 
-        Corrupt entries count as misses and are removed so a later put
-        can heal them.
+        Corrupt entries — unparseable JSON, a non-object document, or a
+        stored key that does not match the requested one (bad sha) —
+        count as misses, increment ``cache.corruption``, and are
+        quarantined so a later put can heal the slot.
         """
         path = self.entry_path(key)
         with span("cache.get", key=key[:12]) as current:
+            corrupt_reason = None
             try:
                 text = path.read_text(encoding="utf-8")
             except OSError:
@@ -96,8 +122,16 @@ class CacheStore:
                     entry = json.loads(text)
                 except ValueError:
                     entry = None
-                    with contextlib.suppress(OSError):
-                        path.unlink()
+                    corrupt_reason = "unparseable"
+                else:
+                    if not isinstance(entry, dict):
+                        entry = None
+                        corrupt_reason = "not_object"
+                    elif entry.get("key") != key:
+                        entry = None
+                        corrupt_reason = "key_mismatch"
+            if corrupt_reason is not None:
+                self._quarantine(path, corrupt_reason)
             hit = entry is not None
             current.set(hit=hit)
         inc("cache.hits" if hit else "cache.misses")
@@ -130,12 +164,63 @@ class CacheStore:
         with span("cache.put", key=key[:12], kind=kind):
             with self._lock():
                 path.parent.mkdir(parents=True, exist_ok=True)
+                self._sweep_dir(path.parent)
                 tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
                 tmp.write_text(text, encoding="utf-8")
                 os.replace(tmp, path)
         inc("cache.puts")
         inc(f"cache.{kind}.puts")
         return path
+
+    @staticmethod
+    def _stale_tmp(path: Path) -> bool:
+        """True for a ``*.tmp-<pid>`` file whose writer is dead (the
+        wreckage of a killed process; a live writer's temp file is
+        left alone)."""
+        _, _, suffix = path.name.rpartition(".tmp-")
+        if not suffix.isdigit():
+            return False
+        pid = int(suffix)
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:  # pragma: no cover - e.g. EPERM: pid is alive
+            return False
+        return False
+
+    def _sweep_dir(self, directory: Path) -> int:
+        """Remove stale temp files in one shard; returns the count."""
+        removed = 0
+        for tmp in directory.glob("*.tmp-*"):
+            if self._stale_tmp(tmp):
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+                    removed += 1
+        if removed:
+            inc("cache.corruption", removed)
+            inc("cache.corruption.stale_tmp", removed)
+        return removed
+
+    def sweep_stale_tmp(self) -> int:
+        """Sweep every shard for temp files left by killed writers.
+
+        Also runs incrementally (per shard) on each put; this method
+        is for explicit maintenance (chaos drills, ``cache --gc``).
+
+        Returns:
+            The number of stale temp files removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        with self._lock():
+            for shard in sorted(self.root.glob("??")):
+                if shard.is_dir():
+                    removed += self._sweep_dir(shard)
+        return removed
 
     def contains(self, key: str) -> bool:
         """True when an entry file exists for ``key`` (no validation)."""

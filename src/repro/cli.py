@@ -24,6 +24,16 @@ Commands:
   reports, ``--update-baseline`` to grandfather the current findings.
 * ``cache {stats,clear,gc}`` — inspect or prune the content-addressed
   result cache under ``<output-dir>/.cache``.
+* ``chaos`` — run the fault-injection drills (link, cache) plus the
+  ``fault_sweep`` degradation experiment under a seeded
+  :class:`repro.fault.FaultPlan`, writing ``fault_log.json`` +
+  ``chaos_report.json``; byte-identical for a fixed ``--seed``
+  (docs/ROBUSTNESS.md).
+
+Fault flags on ``evaluate``: ``--fault-plan PLAN.json`` injects the
+plan's faults and applies its retry policy; ``--max-retries N`` bounds
+the per-driver retry budget (failed drivers degrade to recorded-failure
+rows instead of killing the run).
 
 Global observability flags (valid after any subcommand):
 
@@ -51,7 +61,9 @@ from repro.experiments import (
     ALL_EXPERIMENTS,
     EXTENSION_EXPERIMENTS,
     experiment_name,
+    is_recorded_failure,
     run_module,
+    run_module_resilient,
 )
 from repro.experiments.report import DEFAULT_OUTPUT_DIR, format_table
 from repro.thermal.budget import assess as thermal_assess
@@ -89,6 +101,21 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fault_summary(injector, results: list,
+                         output_dir) -> None:
+    """Counters line + fault-log path for fault-aware runs."""
+    failures = [result.name for result in results
+                if is_recorded_failure(result)]
+    counters = injector.counters
+    print(f"faults: injected={counters['injected']} "
+          f"recovered={counters['recovered']} "
+          f"failed={counters['failed']}")
+    if failures:
+        print(f"recorded failures: {', '.join(failures)}")
+    log_path = injector.write_log(Path(output_dir) / "fault_log.json")
+    print(f"fault log written to {log_path}")
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     wanted = set(args.names) if args.names else None
     known = {experiment_name(module): module
@@ -103,11 +130,33 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 if not wanted or name in wanted]
     if _jobs_error(args.jobs):
         return 2
+    if args.max_retries < 0:
+        print("--max-retries must be non-negative", file=sys.stderr)
+        return 2
+    fault_plan = None
+    injector = None
+    max_retries = args.max_retries
+    backoff_s = 0.25
+    timeout_s = None
+    if args.fault_plan:
+        from repro.fault import FaultInjector, FaultPlan
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"evaluate: bad fault plan: {error}", file=sys.stderr)
+            return 2
+        injector = FaultInjector(fault_plan)
+        max_retries = fault_plan.retry.max_retries
+        backoff_s = fault_plan.retry.backoff_s
+        timeout_s = fault_plan.retry.timeout_s
     if args.jobs != 1 and len(selected) > 1:
         from repro.perf import run_parallel
         results = run_parallel([module for _, module in selected],
                                output_dir=args.output_dir, jobs=args.jobs,
-                               seed=args.seed, cache=args.cache)
+                               seed=args.seed, cache=args.cache,
+                               max_retries=max_retries,
+                               backoff_s=backoff_s, timeout_s=timeout_s,
+                               fault_plan=fault_plan, injector=injector)
         if not args.quiet:
             for (_, module), result in zip(selected, results):
                 print(f"== {result.title} ==")
@@ -115,18 +164,27 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 print()
         if args.cache:
             _print_cache_summary(results)
+        if injector is not None:
+            _print_fault_summary(injector, results, args.output_dir)
         return 0
+    runner = None
     if args.cache:
         from repro.cache import run_and_save_cached, store_for
         store = store_for(args.output_dir)
+
+        def runner(module, seed=None):
+            return run_and_save_cached(module, args.output_dir,
+                                       seed=seed, store=store)
     results = []
     for _, module in selected:
-        if args.cache:
-            result = run_and_save_cached(module, args.output_dir,
-                                         seed=args.seed, store=store)
-        else:
-            result = run_module(module, seed=args.seed)
+        result = run_module_resilient(
+            module, seed=args.seed, max_retries=max_retries,
+            backoff_s=backoff_s, fault_plan=fault_plan,
+            injector=injector, runner=runner)
+        if not args.cache or is_recorded_failure(result):
             result.save_csv(args.output_dir)
+        elif result.fault_info is not None:
+            result.save_manifest(args.output_dir)
         results.append(result)
         if not args.quiet:
             print(f"== {result.title} ==")
@@ -134,6 +192,52 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print()
     if args.cache:
         _print_cache_summary(results)
+    if injector is not None:
+        _print_fault_summary(injector, results, args.output_dir)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import fault_sweep
+    from repro.fault import (FaultInjector, FaultPlan,
+                             default_chaos_plan, run_chaos_drills)
+
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"chaos: bad fault plan: {error}", file=sys.stderr)
+            return 2
+    else:
+        plan = default_chaos_plan(seed=args.seed)
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    injector = FaultInjector(plan)
+
+    drill_report = run_chaos_drills(injector, output_dir)
+    result = run_module(fault_sweep, seed=args.seed)
+    result.fault_info = dict(injector.counters)
+    result.save_csv(output_dir)
+
+    report_path = output_dir / "chaos_report.json"
+    report_path.write_text(
+        json.dumps(drill_report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    log_path = injector.write_log(output_dir / "fault_log.json")
+
+    if not args.quiet:
+        print(f"== chaos drills (plan seed {plan.seed}) ==")
+        print(json.dumps(drill_report, indent=2, sort_keys=True))
+        print()
+        print(f"== {result.title} ==")
+        print(fault_sweep.render(result))
+        print()
+    counters = injector.counters
+    print(f"faults: injected={counters['injected']} "
+          f"recovered={counters['recovered']} "
+          f"failed={counters['failed']}")
+    print(f"chaos report written to {report_path}")
+    print(f"fault log written to {log_path}")
     return 0
 
 
@@ -380,7 +484,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action=argparse.BooleanOptionalAction, default=False,
         help="replay unchanged drivers from the content-addressed "
              "result cache under <output-dir>/.cache")
+    evaluate.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.json",
+        help="inject faults from this plan (schema in "
+             "docs/ROBUSTNESS.md) and apply its retry policy; writes "
+             "<output-dir>/fault_log.json")
+    evaluate.add_argument(
+        "--max-retries", type=int, default=2,
+        help="bounded retry budget per driver; a driver that still "
+             "fails degrades to a recorded-failure row (overridden by "
+             "--fault-plan's retry policy)")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection drills and the "
+             "fault_sweep degradation experiment")
+    chaos_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="plan seed; a fixed seed makes fault logs and CSVs "
+             "byte-identical across runs")
+    chaos_cmd.add_argument(
+        "--output-dir", default=str(DEFAULT_OUTPUT_DIR / "chaos"),
+        help="destination for fault_log.json, chaos_report.json, and "
+             "the fault_sweep CSV")
+    chaos_cmd.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.json",
+        help="use this plan instead of the stock chaos plan")
+    chaos_cmd.set_defaults(func=_cmd_chaos)
 
     assess = sub.add_parser("assess",
                             help="scale and safety-check one design")
@@ -470,7 +601,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache_cmd.set_defaults(func=_cmd_cache)
 
     for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,
-                    validate_cmd, profile_cmd, analyze_cmd, cache_cmd):
+                    validate_cmd, profile_cmd, analyze_cmd, cache_cmd,
+                    chaos_cmd):
         _add_common_flags(command)
     return parser
 

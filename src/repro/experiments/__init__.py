@@ -23,6 +23,7 @@ from repro.obs.metrics import inc
 from repro.obs.trace import span
 from repro.perf.seeds import derive_driver_seed
 from repro.experiments import (  # noqa: F401 (re-exported driver modules)
+    fault_sweep,
     fig4,
     frontier,
     fig5,
@@ -40,8 +41,14 @@ from repro.experiments import (  # noqa: F401 (re-exported driver modules)
 ALL_EXPERIMENTS = (table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
                    fig11, fig12)
 
-#: Extension drivers beyond the paper's evaluation (see DESIGN.md).
-EXTENSION_EXPERIMENTS = (frontier,)
+#: Extension drivers beyond the paper's evaluation (see DESIGN.md);
+#: ``frontier`` stays last (the reporting contract tested in
+#: tests/experiments/test_frontier.py).
+EXTENSION_EXPERIMENTS = (fault_sweep, frontier)
+
+#: Schema of a recorded-failure row (a driver that exhausted its retry
+#: budget degrades to this instead of killing the run).
+FAILURE_COLUMNS = ("driver", "status", "attempts", "error")
 
 
 def experiment_name(module: ModuleType) -> str:
@@ -90,12 +97,125 @@ def run_module(module: ModuleType,
     return result
 
 
+def _failure_result(name: str, attempts: int, error: str,
+                    seed: int | None = None) -> ExperimentResult:
+    """The recorded-failure row a driver degrades to after its retry
+    budget is exhausted (schema: :data:`FAILURE_COLUMNS`)."""
+    row = {"driver": name, "status": "failed", "attempts": attempts,
+           "error": error}
+    result = ExperimentResult(
+        name=name,
+        title=f"{name} (recorded failure after {attempts} attempt(s))",
+        rows=[row],
+        summary={"status": "failed", "attempts": attempts,
+                 "error": error},
+        columns=list(FAILURE_COLUMNS))
+    result.seed = seed
+    result.fault_info = {"injected": attempts, "recovered": 0,
+                         "failed": 1, "attempts": attempts,
+                         "error": error}
+    return result
+
+
+def is_recorded_failure(result: ExperimentResult) -> bool:
+    """True for a degraded recorded-failure result (the driver never
+    produced real rows)."""
+    return result.summary.get("status") == "failed"
+
+
+def run_module_resilient(module: ModuleType,
+                         seed: int | None = None,
+                         max_retries: int = 2,
+                         backoff_s: float = 0.25,
+                         fault_plan=None,
+                         injector=None,
+                         runner=None) -> ExperimentResult:
+    """Run one driver with bounded retries and graceful degradation.
+
+    The serial counterpart of the parallel engine's retry loop: a
+    driver that raises gets retried with exponential backoff
+    (``backoff_s * 2**(attempt-1)``) up to ``max_retries`` extra
+    attempts, then degrades to a recorded-failure result
+    (:func:`is_recorded_failure`) instead of killing the run.  On the
+    happy path this is exactly :func:`run_module` — no extra sleeps, no
+    extra RNG draws, byte-identical artifacts.
+
+    Args:
+        module: the driver module.
+        seed: base run seed (as in :func:`run_module`).
+        max_retries: extra attempts after the first failure.
+        backoff_s: base backoff; 0 retries immediately.
+        fault_plan: optional :class:`repro.fault.plan.FaultPlan` whose
+            worker faults are applied before each attempt (crash
+            raises, slow/hang sleep — serial runs cannot preempt).
+        injector: optional :class:`repro.fault.injector.FaultInjector`
+            used for fault accounting (created from ``fault_plan``
+            when omitted).
+        runner: the single-attempt callable, defaulting to
+            :func:`run_module`; the cached path passes a closure over
+            :func:`repro.cache.run_and_save_cached`.
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if injector is None and fault_plan is not None:
+        from repro.fault.injector import FaultInjector
+        injector = FaultInjector(fault_plan)
+    if runner is None:
+        runner = run_module
+    name = experiment_name(module)
+    worker_spec = fault_plan.worker if fault_plan is not None else None
+
+    error_text = ""
+    attempts_used = 0
+    # Bounded retry: at most max_retries extra attempts, then degrade.
+    for attempt in range(max_retries + 1):
+        attempts_used = attempt + 1
+        if attempt > 0:
+            if backoff_s > 0:
+                time.sleep(backoff_s * 2.0 ** (attempt - 1))
+            inc("experiments.retries")
+        try:
+            if worker_spec is not None:
+                kind, seconds = worker_spec.fault_for(name, attempt)
+                if kind is not None and injector is not None:
+                    injector.record_worker_fault(name, attempt, kind,
+                                                 seconds=seconds)
+                if kind == "crash":
+                    from repro.fault.plan import InjectedWorkerFault
+                    raise InjectedWorkerFault(name, attempt)
+                if kind in ("slow", "hang") and seconds > 0:
+                    time.sleep(seconds)
+            result = runner(module, seed=seed)
+        except Exception as error:
+            inc("experiments.driver_failures")
+            error_text = f"{type(error).__name__}: {error}"
+            continue
+        if attempt > 0:
+            result.fault_info = {"injected": attempt, "recovered": 1,
+                                 "failed": 0, "attempts": attempts_used}
+            if injector is not None:
+                injector.record_recovered("worker", target=name,
+                                          attempts=attempts_used)
+        return result
+    if injector is not None:
+        injector.record_failed("worker", target=name,
+                               attempts=attempts_used)
+    inc("experiments.recorded_failures")
+    return _failure_result(name, attempts=attempts_used,
+                           error=error_text, seed=seed)
+
+
 def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
             verbose: bool = False,
             include_extensions: bool = False,
             seed: int | None = None,
             jobs: int = 1,
-            cache: bool = False) -> list[ExperimentResult]:
+            cache: bool = False,
+            max_retries: int = 2,
+            backoff_s: float = 0.25,
+            timeout_s: float | None = None,
+            fault_plan=None,
+            injector=None) -> list[ExperimentResult]:
     """Run every experiment, saving one CSV (+ manifest) per
     figure/table.
 
@@ -112,16 +232,41 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
             under ``<output_dir>/.cache``
             (:func:`repro.cache.run_and_save_cached`); unchanged
             drivers replay their stored results byte-for-byte.
+        max_retries: bounded per-driver retry budget (serial and
+            parallel); a driver that still fails degrades to a
+            recorded-failure row (:func:`is_recorded_failure`) instead
+            of killing the run.  Overridden by ``fault_plan.retry``
+            when a plan is given.
+        backoff_s: exponential-backoff base between attempts; likewise
+            overridden by the plan's retry policy.
+        timeout_s: per-driver wall-clock bound (parallel engine only;
+            a serial run cannot preempt a hung driver).
+        fault_plan: optional :class:`repro.fault.plan.FaultPlan`; its
+            worker faults are injected and its retry policy replaces
+            the three arguments above.
+        injector: optional :class:`repro.fault.injector.FaultInjector`
+            shared across drivers so fault accounting aggregates into
+            one log (the chaos CLI passes one).
 
     Returns:
         The results in paper order (extensions last).
     """
     modules = ALL_EXPERIMENTS + (EXTENSION_EXPERIMENTS
                                  if include_extensions else ())
+    if fault_plan is not None:
+        max_retries = fault_plan.retry.max_retries
+        backoff_s = fault_plan.retry.backoff_s
+        timeout_s = fault_plan.retry.timeout_s
+        if injector is None:
+            from repro.fault.injector import FaultInjector
+            injector = FaultInjector(fault_plan)
     if jobs != 1:
         from repro.perf.parallel import run_parallel
         results = run_parallel(modules, output_dir=output_dir, jobs=jobs,
-                               seed=seed, cache=cache)
+                               seed=seed, cache=cache,
+                               max_retries=max_retries,
+                               backoff_s=backoff_s, timeout_s=timeout_s,
+                               fault_plan=fault_plan, injector=injector)
         if verbose:
             for module, result in zip(modules, results):
                 print(f"== {result.title} ==")
@@ -129,17 +274,25 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
                 print()
         return results
     results = []
+    runner = None
     if cache:
         from repro.cache import run_and_save_cached, store_for
         store = store_for(output_dir)
+
+        def runner(module: ModuleType,
+                   seed: int | None = None) -> ExperimentResult:
+            return run_and_save_cached(module, output_dir, seed=seed,
+                                       store=store)
     with span("experiments.run_all", n_experiments=len(modules)):
         for module in modules:
-            if cache:
-                result = run_and_save_cached(module, output_dir,
-                                             seed=seed, store=store)
-            else:
-                result = run_module(module, seed=seed)
+            result = run_module_resilient(
+                module, seed=seed, max_retries=max_retries,
+                backoff_s=backoff_s, fault_plan=fault_plan,
+                injector=injector, runner=runner)
+            if not cache or is_recorded_failure(result):
                 result.save_csv(output_dir)
+            elif result.fault_info is not None:
+                result.save_manifest(output_dir)
             if verbose:
                 print(f"== {result.title} ==")
                 print(module.render(result))
@@ -148,5 +301,6 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
     return results
 
 
-__all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS",
-           "ExperimentResult", "experiment_name", "run_all", "run_module"]
+__all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "FAILURE_COLUMNS",
+           "ExperimentResult", "experiment_name", "is_recorded_failure",
+           "run_all", "run_module", "run_module_resilient"]

@@ -37,6 +37,11 @@ class ExperimentResult:
         cached_csv_text: exact CSV text captured by a previous cold run;
             when set, :meth:`save_csv` writes these bytes verbatim so
             warm artifacts are byte-identical to cold ones.
+        fault_info: fault accounting
+            (``{"injected", "recovered", "failed", ...}``) populated by
+            the resilient runners when a fault plan is active or a
+            driver needed retries; None on fault-free runs.  Recorded
+            as the manifest's ``faults`` block (docs/ROBUSTNESS.md).
     """
 
     name: str
@@ -49,6 +54,7 @@ class ExperimentResult:
     duration_s: float | None = None
     cache_info: dict[str, Any] | None = None
     cached_csv_text: str | None = None
+    fault_info: dict[str, Any] | None = None
 
     def save_csv(self, output_dir: Path | str = DEFAULT_OUTPUT_DIR,
                  columns: Sequence[str] | None = None) -> Path:
@@ -84,6 +90,8 @@ class ExperimentResult:
                                  "derived_seed": self.derived_seed}
         if self.cache_info is not None:
             extra["cache"] = self.cache_info
+        if self.fault_info is not None:
+            extra["faults"] = self.fault_info
         manifest = build_manifest(
             self.name, seed=self.seed, duration_s=self.duration_s,
             extra=extra)

@@ -1,0 +1,33 @@
+"""repro.fault: seeded fault injection and the recovery paths it tests.
+
+The chaos layer of the reproduction pipeline (``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.fault.plan` — :class:`FaultPlan`, the declarative JSON
+  spec of per-domain fault rates plus the retry policy;
+* :mod:`repro.fault.injector` — :class:`FaultInjector`, which applies a
+  plan deterministically and logs every event;
+* :mod:`repro.fault.drills` — canned link/cache drills behind
+  ``python -m repro chaos``.
+"""
+
+from repro.fault.drills import cache_drill, link_drill, run_chaos_drills
+from repro.fault.injector import FaultEvent, FaultInjector
+from repro.fault.plan import (CacheFaults, FaultPlan, InjectedWorkerFault,
+                              LinkFaults, RetryPolicy, WorkerFaults,
+                              default_chaos_plan, derive_fault_seed)
+
+__all__ = [
+    "CacheFaults",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedWorkerFault",
+    "LinkFaults",
+    "RetryPolicy",
+    "WorkerFaults",
+    "cache_drill",
+    "default_chaos_plan",
+    "derive_fault_seed",
+    "link_drill",
+    "run_chaos_drills",
+]

@@ -10,13 +10,21 @@ the streaming example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 #: CRC-16/CCITT-FALSE polynomial.
 _CRC16_POLY = 0x1021
 _CRC16_INIT = 0xFFFF
+
+
+class PacketError(ValueError):
+    """Malformed serialized packet (too short to hold header + CRC).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old untyped error keep working.
+    """
 
 
 def crc16(data: bytes) -> int:
@@ -60,12 +68,57 @@ class Packet:
     @classmethod
     def from_bytes(cls, raw: bytes) -> "Packet":
         """Parse a serialized packet (no payload-length framing here; the
-        caller supplies exactly one packet's bytes)."""
-        if len(raw) < 4:
-            raise ValueError("packet too short")
+        caller supplies exactly one packet's bytes).
+
+        Raises:
+            PacketError: when ``raw`` cannot hold a header plus CRC
+                (truncated on the wire, for instance).
+        """
+        if len(raw) < Packetizer.HEADER_BYTES + Packetizer.CRC_BYTES:
+            raise PacketError(
+                f"packet too short: {len(raw)} bytes, need at least "
+                f"{Packetizer.HEADER_BYTES + Packetizer.CRC_BYTES}")
         sequence = int.from_bytes(raw[:2], "big")
         checksum = int.from_bytes(raw[-2:], "big")
         return cls(sequence=sequence, payload=raw[2:-2], checksum=checksum)
+
+
+@dataclass
+class StreamLossReport:
+    """What a lossy reassembly had to discard or repair.
+
+    Attributes:
+        received: raw packets offered to the receiver.
+        accepted: packets that parsed and passed CRC.
+        crc_failures: packets rejected by checksum.
+        malformed: packets too short to parse at all.
+        duplicates: CRC-valid packets discarded as repeated sequences.
+        reordered: accepted packets that arrived out of order.
+        missing: sequence slots absent between the first and last
+            accepted packet (dropped on the wire).
+        trailing_bytes_dropped: payload tail discarded because it did
+            not contain a whole number of samples.
+    """
+
+    received: int = 0
+    accepted: int = 0
+    crc_failures: int = 0
+    malformed: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    missing: int = 0
+    trailing_bytes_dropped: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-able counters (for manifests and fault logs)."""
+        return {key: int(value)
+                for key, value in sorted(vars(self).items())}
+
+
+@dataclass
+class _AcceptedPacket:
+    offset: int
+    payload: bytes = field(repr=False)
 
 
 class Packetizer:
@@ -140,6 +193,66 @@ class Packetizer:
             chunks.append(packet.payload)
         return _bytes_to_codes(b"".join(chunks), self.bytes_per_sample,
                                self.sample_bits)
+
+    def depacketize_lossy(
+            self, raw_packets: list[bytes],
+    ) -> tuple[np.ndarray, StreamLossReport]:
+        """Best-effort reassembly of a damaged packet stream.
+
+        The fault-tolerant counterpart of :meth:`depacketize`: never
+        raises.  Malformed and CRC-failing packets are discarded,
+        survivors are re-sorted by sequence offset from the first
+        accepted packet (mod 2^16, so wraparound streams reorder
+        correctly), duplicates are dropped, and a trailing partial
+        sample is truncated.
+
+        Args:
+            raw_packets: serialized packets as received (possibly
+                dropped, reordered, truncated, or bit-flipped).
+
+        Returns:
+            ``(codes, report)``: the samples recovered in order, and
+            the loss accounting.
+        """
+        report = StreamLossReport(received=len(raw_packets))
+        accepted: list[_AcceptedPacket] = []
+        first_seq: int | None = None
+        for raw in raw_packets:
+            try:
+                packet = Packet.from_bytes(raw)
+            except PacketError:
+                report.malformed += 1
+                continue
+            if not packet.valid:
+                report.crc_failures += 1
+                continue
+            if first_seq is None:
+                first_seq = packet.sequence
+            offset = (packet.sequence - first_seq) & 0xFFFF
+            accepted.append(_AcceptedPacket(offset=offset,
+                                            payload=packet.payload))
+        report.reordered = sum(
+            1 for earlier, later in zip(accepted, accepted[1:])
+            if later.offset < earlier.offset)
+        accepted.sort(key=lambda item: item.offset)
+        unique: list[_AcceptedPacket] = []
+        for item in accepted:
+            if unique and item.offset == unique[-1].offset:
+                report.duplicates += 1
+                continue
+            unique.append(item)
+        report.accepted = len(unique)
+        if unique:
+            span_slots = unique[-1].offset - unique[0].offset + 1
+            report.missing = span_slots - len(unique)
+        raw = b"".join(item.payload for item in unique)
+        remainder = len(raw) % self.bytes_per_sample
+        if remainder:
+            report.trailing_bytes_dropped = remainder
+            raw = raw[:len(raw) - remainder]
+        codes = _bytes_to_codes(raw, self.bytes_per_sample,
+                                self.sample_bits)
+        return codes, report
 
 
 def _codes_to_bytes(codes: np.ndarray, bytes_per_sample: int) -> bytes:

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -60,7 +62,9 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 def _run_one(name: str, seed: int | None, output_dir: str,
              trace_on: bool, metrics_on: bool,
-             cache: bool = False) -> dict[str, Any]:
+             cache: bool = False,
+             plan_record: dict[str, Any] | None = None,
+             attempt: int = 0) -> dict[str, Any]:
     """Worker-side entry: run one driver, save its CSV, export obs state.
 
     Runs in the worker process.  Workers are reused across tasks (and,
@@ -71,6 +75,13 @@ def _run_one(name: str, seed: int | None, output_dir: str,
     :func:`repro.cache.run_and_save_cached` against the store under
     ``output_dir`` — safe to share across workers (atomic writes +
     file locking in :class:`repro.cache.CacheStore`).
+
+    With a fault plan, the plan's worker faults for ``(name, attempt)``
+    are applied before the driver runs: crashes raise
+    :class:`repro.fault.plan.InjectedWorkerFault` back to the parent
+    (which retries), slow/hang faults sleep first.  Fault decisions are
+    plan-driven, not random, so the parent can account them without a
+    side channel.
     """
     import importlib
 
@@ -86,6 +97,15 @@ def _run_one(name: str, seed: int | None, output_dir: str,
         _metrics.enable()
     else:
         _metrics.disable()
+
+    if plan_record is not None:
+        from repro.fault.plan import FaultPlan, InjectedWorkerFault
+        plan = FaultPlan.from_dict(plan_record)
+        kind, seconds = plan.worker.fault_for(name, attempt)
+        if kind == "crash":
+            raise InjectedWorkerFault(name, attempt)
+        if kind in ("slow", "hang") and seconds > 0:
+            time.sleep(seconds)
 
     module = importlib.import_module(f"repro.experiments.{name}")
     if cache:
@@ -122,7 +142,12 @@ def run_parallel(modules: Sequence[Any],
                  output_dir: Path | str,
                  jobs: int | None = None,
                  seed: int | None = None,
-                 cache: bool = False) -> list[Any]:
+                 cache: bool = False,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.25,
+                 timeout_s: float | None = None,
+                 fault_plan: Any = None,
+                 injector: Any = None) -> list[Any]:
     """Run experiment drivers across a process pool.
 
     Args:
@@ -137,29 +162,117 @@ def run_parallel(modules: Sequence[Any],
         cache: route each worker's driver through the shared
             content-addressed cache under ``output_dir`` (see
             :mod:`repro.cache`).
+        max_retries: extra attempts per driver after a worker crash or
+            timeout; always bounded.
+        backoff_s: base of the exponential backoff slept before each
+            retry (``backoff_s * 2**(attempt-1)``); 0 retries
+            immediately.
+        timeout_s: per-driver wall-clock bound on each attempt; a
+            too-slow worker counts as a failed attempt (the abandoned
+            worker still drains — injected hangs must be finite).
+        fault_plan: optional :class:`repro.fault.plan.FaultPlan` whose
+            worker faults the pool applies (crash/slow/hang per
+            driver+attempt).
+        injector: optional :class:`repro.fault.injector.FaultInjector`
+            that accounts worker faults parent-side (created on the
+            fly when a plan is given without one).
 
     Returns:
         The :class:`~repro.experiments.base.ExperimentResult` objects in
-        the order of ``modules`` (not completion order).
+        the order of ``modules`` (not completion order).  A driver that
+        exhausts its retry budget yields a recorded-failure result
+        (:func:`repro.experiments.is_recorded_failure`) instead of
+        raising — one bad driver degrades, the run completes.
     """
-    from repro.experiments import experiment_name
+    from repro.experiments import _failure_result, experiment_name
 
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
     jobs = resolve_jobs(jobs)
     if seed is None:
         seed = _manifest.current_seed()
     names = [experiment_name(module) for module in modules]
     trace_on = _trace.tracing_enabled()
     metrics_on = _metrics.metrics_enabled()
+    plan_record = fault_plan.to_dict() if fault_plan is not None else None
+    if injector is None and fault_plan is not None:
+        from repro.fault.injector import FaultInjector
+        injector = FaultInjector(fault_plan)
 
+    def submit(pool: ProcessPoolExecutor, name: str, attempt: int):
+        if injector is not None and plan_record is not None:
+            kind, seconds = fault_plan.worker.fault_for(name, attempt)
+            if kind is not None:
+                injector.record_worker_fault(name, attempt, kind,
+                                             seconds=seconds)
+        return pool.submit(_run_one, name, seed, str(output_dir),
+                           trace_on, metrics_on, cache, plan_record,
+                           attempt)
+
+    payloads: list[dict[str, Any]] = []
+    failures: list[tuple[int, str, int, str]] = []
     with span("experiments.run_parallel", jobs=jobs, n_experiments=len(names)):
         with ProcessPoolExecutor(max_workers=jobs,
                                  mp_context=_pool_context()) as pool:
-            futures = [pool.submit(_run_one, name, seed, str(output_dir),
-                                   trace_on, metrics_on, cache)
-                       for name in names]
-            payloads = [future.result() for future in futures]
+            futures = [submit(pool, name, 0) for name in names]
+            for index, name in enumerate(names):
+                future = futures[index]
+                payload = None
+                error_text = ""
+                attempts_used = 0
+                # Bounded retry: at most max_retries resubmissions.
+                for attempt in range(max_retries + 1):
+                    attempts_used = attempt + 1
+                    if attempt > 0:
+                        if backoff_s > 0:
+                            time.sleep(backoff_s * 2.0 ** (attempt - 1))
+                        _metrics.inc("experiments.retries")
+                        future = submit(pool, name, attempt)
+                    try:
+                        payload = future.result(timeout=timeout_s)
+                        break
+                    except (Exception, FutureTimeoutError) as error:
+                        _metrics.inc("experiments.worker_failures")
+                        error_text = _describe(error)
+                if payload is None:
+                    failures.append((index, name, attempts_used,
+                                     error_text))
+                elif attempts_used > 1:
+                    payload["attempts"] = attempts_used
+                payloads.append(payload)
 
-    for payload in payloads:
+    results: list[Any] = []
+    for index, name in enumerate(names):
+        payload = payloads[index]
+        if payload is None:
+            continue
         _merge_payload(payload)
-    _metrics.inc("experiments.parallel_runs", len(payloads))
-    return [payload["result"] for payload in payloads]
+        result = payload["result"]
+        attempts = payload.get("attempts")
+        if attempts is not None:
+            result.fault_info = {"injected": attempts - 1, "recovered": 1,
+                                 "failed": 0, "attempts": attempts}
+            result.save_manifest(output_dir)
+            if injector is not None:
+                injector.record_recovered("worker", target=name,
+                                          attempts=attempts)
+        results.append(result)
+    for index, name, attempts, error in failures:
+        if injector is not None:
+            injector.record_failed("worker", target=name,
+                                   attempts=attempts)
+        result = _failure_result(name, attempts=attempts, error=error,
+                                 seed=seed)
+        result.save_csv(output_dir)
+        results.insert(index, result)
+        _metrics.inc("experiments.recorded_failures")
+    _metrics.inc("experiments.parallel_runs", len(names))
+    return results
+
+
+def _describe(error: BaseException) -> str:
+    """Compact one-line description of a worker failure."""
+    if isinstance(error, FutureTimeoutError) or isinstance(error,
+                                                           TimeoutError):
+        return "timeout"
+    return f"{type(error).__name__}: {error}"

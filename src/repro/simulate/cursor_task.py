@@ -107,12 +107,24 @@ class TaskOutcome:
         trials: total trials run.
         times_to_target_s: acquisition times of successful trials.
         mean_path_efficiency: straight-line / travelled distance of hits.
+        dropped_windows: control windows lost to link faults (the
+            decoder held its last output; see ``drop_rate``).
+        total_windows: control windows executed across all trials.
     """
 
     hits: int
     trials: int
     times_to_target_s: list[float] = field(default_factory=list)
     mean_path_efficiency: float = 0.0
+    dropped_windows: int = 0
+    total_windows: int = 0
+
+    @property
+    def dropped_fraction(self) -> float:
+        """Fraction of control windows lost (0 when none ran)."""
+        if self.total_windows == 0:
+            return 0.0
+        return self.dropped_windows / self.total_windows
 
     @property
     def hit_rate(self) -> float:
@@ -135,7 +147,10 @@ def run_closed_loop_session(decoder,
                             rng: np.random.Generator,
                             n_trials: int = 20,
                             latency_steps: int = 0,
-                            train_timesteps: int = 3000) -> TaskOutcome:
+                            train_timesteps: int = 3000,
+                            drop_rate: float = 0.0,
+                            drop_rng: np.random.Generator | None = None,
+                            ) -> TaskOutcome:
     """Run an offline-calibration + closed-loop-control session.
 
     Args:
@@ -148,14 +163,29 @@ def run_closed_loop_session(decoder,
         latency_steps: control-loop delay in timesteps (the MINDFUL
             latency budget expressed at the application level).
         train_timesteps: open-loop calibration data length.
+        drop_rate: probability each control window's feature packet is
+            lost on the link.  The decoder degrades gracefully: it
+            holds its last command for the dropped window instead of
+            failing (the neural data — and hence the ``rng`` stream —
+            is unchanged, so sessions at different drop rates share
+            common random numbers).
+        drop_rng: dedicated generator for drop decisions; required
+            when ``drop_rate`` > 0 so the main stream stays
+            byte-identical to a no-fault session.
 
     Raises:
-        ValueError: for negative latency or no trials.
+        ValueError: for negative latency, no trials, or an
+            out-of-range/under-specified drop configuration.
     """
     if latency_steps < 0:
         raise ValueError("latency must be non-negative")
     if n_trials <= 0:
         raise ValueError("need at least one trial")
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError("drop_rate must lie in [0, 1)")
+    if drop_rate > 0.0 and drop_rng is None:
+        raise ValueError("drop_rate > 0 requires a dedicated drop_rng "
+                         "(the session rng stream must not change)")
     preferred = user.preferred_directions(rng)
 
     # Offline calibration: random smooth intents, open loop.
@@ -173,10 +203,19 @@ def run_closed_loop_session(decoder,
         cursor = np.zeros(2)
         pending: list[np.ndarray] = [np.zeros(2)] * latency_steps
         travelled = 0.0
+        held_command = np.zeros(2)
         for step in range(max_steps):
             intent = user.intend(cursor, target)
             feature = user.encode(intent, preferred, rng)
-            command = decoder.decode(feature[None, :])[0]
+            outcome.total_windows += 1
+            if drop_rate > 0.0 and drop_rng.random() < drop_rate:
+                # Feature packet lost: hold the last decoded command
+                # (graceful degradation, not a crash or a zero output).
+                outcome.dropped_windows += 1
+                command = held_command
+            else:
+                command = decoder.decode(feature[None, :])[0]
+                held_command = command
             pending.append(command)
             applied = pending.pop(0)
             move = applied * task.dt_s * 10.0

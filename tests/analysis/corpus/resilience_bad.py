@@ -1,0 +1,16 @@
+"""Corpus fixture: a bare except and an unbounded retry loop."""
+
+
+def read_entry(path):
+    try:
+        return path.read_text()
+    except:  # noqa: E722  (the bare-except violation under test)
+        return None
+
+
+def fetch_forever(link):
+    while True:
+        try:
+            return link.recv()
+        except TimeoutError:
+            continue

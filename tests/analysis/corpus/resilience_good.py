@@ -1,0 +1,30 @@
+"""Corpus fixture: typed handlers, bounded retries, explicit exits."""
+
+MAX_RETRIES = 3
+
+
+def read_entry(path):
+    try:
+        return path.read_text()
+    except OSError:
+        return None
+
+
+def fetch_bounded(link):
+    for _attempt in range(MAX_RETRIES + 1):
+        try:
+            return link.recv()
+        except TimeoutError:
+            continue
+    return None
+
+
+def drain(link):
+    items = []
+    while True:
+        try:
+            item = link.recv()
+        except TimeoutError:
+            break
+        items.append(item)
+    return items

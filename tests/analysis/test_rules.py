@@ -16,11 +16,12 @@ EXPECTED_BY_RULE = {
     "experiment-contract": 5,
     "export-hygiene": 3,
     "parity-oracle": 2,
+    "resilience": 2,
     "units": 2,
 }
 
 
-def test_registry_exposes_all_five_rules():
+def test_registry_exposes_all_six_rules():
     assert sorted(rule.rule_id for rule in all_rules()) == sorted(
         EXPECTED_BY_RULE)
     assert rule_by_id("units").rule_id == "units"
@@ -107,6 +108,30 @@ def test_export_rule_catalogue():
     assert "public function 'decode' missing from __all__" in blob
     assert "mutable default argument (list) in encode" in blob
     assert analyze_paths([CORPUS / "exports_good.py"]) == []
+
+
+def test_resilience_rule_catalogue():
+    findings = analyze_paths([CORPUS / "resilience_bad.py"])
+    assert len(findings) == 2
+    blob = " | ".join(f.message for f in findings)
+    assert "bare 'except:'" in blob
+    assert "unbounded retry" in blob
+    assert analyze_paths([CORPUS / "resilience_good.py"]) == []
+
+
+def test_resilience_rule_accepts_escaping_while_true(tmp_path):
+    target = tmp_path / "pump.py"
+    target.write_text(
+        "def pump(link):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            link.step()\n"
+        "        except TimeoutError:\n"
+        "            if link.done():\n"
+        "                break\n"
+        "            continue\n",
+        encoding="utf-8")
+    assert analyze_paths([target]) == []
 
 
 def test_default_scan_skips_corpus_directories():

@@ -1,0 +1,1 @@
+"""Chaos suite for the deterministic fault-injection layer."""

@@ -1,0 +1,144 @@
+"""Worker crash/hang/slow faults and the bounded-retry engines.
+
+The headline contract from the chaos suite: a ``run_all(jobs=4,
+max_retries=2)`` whose fault plan crashes drivers (within the retry
+budget) still writes every CSV byte-identical to a fault-free serial
+run — recovery is invisible in the artifacts, visible in the fault log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, FAILURE_COLUMNS,
+                               experiment_name, is_recorded_failure,
+                               run_all, run_module,
+                               run_module_resilient)
+from repro.fault import (FaultInjector, FaultPlan, RetryPolicy,
+                         WorkerFaults)
+from repro.perf import run_parallel
+
+#: The cheapest driver (a static table) — retried many times in here.
+CHEAP = ALL_EXPERIMENTS[0]
+CHEAP_NAME = experiment_name(CHEAP)
+
+
+def _crash_plan(crashes: dict[str, int],
+                max_retries: int = 2) -> FaultPlan:
+    return FaultPlan(worker=WorkerFaults(crash=crashes),
+                     retry=RetryPolicy(max_retries=max_retries,
+                                       backoff_s=0.0))
+
+
+class TestSerialResilience:
+    def test_happy_path_matches_run_module(self):
+        plain = run_module(CHEAP, seed=5)
+        resilient = run_module_resilient(CHEAP, seed=5)
+        assert resilient.rows == plain.rows
+        assert resilient.title == plain.title
+        assert resilient.fault_info is None
+        assert not is_recorded_failure(resilient)
+
+    def test_crash_within_budget_recovers(self):
+        plan = _crash_plan({CHEAP_NAME: 2})
+        injector = FaultInjector(plan)
+        result = run_module_resilient(CHEAP, seed=5, max_retries=2,
+                                      backoff_s=0.0, fault_plan=plan,
+                                      injector=injector)
+        assert result.rows == run_module(CHEAP, seed=5).rows
+        assert result.fault_info == {"injected": 2, "recovered": 1,
+                                     "failed": 0, "attempts": 3}
+        assert injector.counters == {"injected": 2, "recovered": 1,
+                                     "failed": 0}
+        kinds = [event.kind for event in injector.events]
+        assert kinds == ["crash", "crash", "recovered"]
+
+    def test_exhausted_budget_degrades_to_recorded_failure(self):
+        plan = _crash_plan({CHEAP_NAME: 99})
+        injector = FaultInjector(plan)
+        result = run_module_resilient(CHEAP, seed=5, max_retries=2,
+                                      backoff_s=0.0, fault_plan=plan,
+                                      injector=injector)
+        assert is_recorded_failure(result)
+        assert result.columns == list(FAILURE_COLUMNS)
+        [row] = result.rows
+        assert row["driver"] == CHEAP_NAME
+        assert row["status"] == "failed"
+        assert row["attempts"] == 3
+        assert "InjectedWorkerFault" in row["error"]
+        assert injector.counters["failed"] == 1
+        assert result.fault_info["failed"] == 1
+
+    def test_slow_fault_is_logged_but_harmless(self):
+        plan = FaultPlan(worker=WorkerFaults(slow_s={CHEAP_NAME: 0.01}))
+        injector = FaultInjector(plan)
+        result = run_module_resilient(CHEAP, seed=5, fault_plan=plan,
+                                      injector=injector)
+        assert not is_recorded_failure(result)
+        assert result.rows == run_module(CHEAP, seed=5).rows
+        [event] = injector.events
+        assert event.kind == "slow" and event.target == CHEAP_NAME
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_module_resilient(CHEAP, max_retries=-1)
+
+
+def _csv_bytes(directory):
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("*.csv"))}
+
+
+class TestParallelResilience:
+    def test_crashing_drivers_recover_byte_identical_to_serial(
+            self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        chaos_dir = tmp_path / "chaos"
+        crashes = {experiment_name(ALL_EXPERIMENTS[0]): 1,
+                   experiment_name(ALL_EXPERIMENTS[1]): 2}
+        plan = _crash_plan(crashes, max_retries=2)
+        injector = FaultInjector(plan)
+
+        serial = run_all(output_dir=serial_dir, seed=7)
+        chaotic = run_all(output_dir=chaos_dir, seed=7, jobs=4,
+                          max_retries=2, fault_plan=plan,
+                          injector=injector)
+
+        assert _csv_bytes(serial_dir) == _csv_bytes(chaos_dir)
+        assert [r.title for r in serial] == [r.title for r in chaotic]
+        assert not any(is_recorded_failure(r) for r in chaotic)
+        assert injector.counters == {"injected": 3, "recovered": 2,
+                                     "failed": 0}
+
+    def test_crash_beyond_budget_yields_failure_row_in_order(
+            self, tmp_path):
+        modules = list(ALL_EXPERIMENTS[:3])
+        doomed = experiment_name(modules[1])
+        plan = _crash_plan({doomed: 99})
+        injector = FaultInjector(plan)
+        results = run_parallel(modules, output_dir=tmp_path, jobs=2,
+                               seed=11, max_retries=1, backoff_s=0.0,
+                               fault_plan=plan, injector=injector)
+        assert [is_recorded_failure(r) for r in results] == [
+            False, True, False]
+        failure = results[1]
+        assert failure.name == doomed
+        [row] = failure.rows
+        assert row["attempts"] == 2
+        assert "InjectedWorkerFault" in row["error"]
+        assert (tmp_path / f"{doomed}.csv").is_file()
+        assert injector.counters["failed"] == 1
+
+    def test_hung_driver_times_out_to_recorded_failure(self, tmp_path):
+        plan = FaultPlan(worker=WorkerFaults(hang_s={CHEAP_NAME: 1.0}),
+                         retry=RetryPolicy(max_retries=0, backoff_s=0.0,
+                                           timeout_s=0.2))
+        injector = FaultInjector(plan)
+        [result] = run_parallel([CHEAP], output_dir=tmp_path, jobs=2,
+                                seed=3, max_retries=0, backoff_s=0.0,
+                                timeout_s=0.2, fault_plan=plan,
+                                injector=injector)
+        assert is_recorded_failure(result)
+        assert result.rows[0]["error"] == "timeout"
+        assert injector.events[0].kind == "hang"
+        assert injector.counters["failed"] == 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.link.packetizer import Packet, Packetizer, crc16
+from repro.link.packetizer import Packet, PacketError, Packetizer, crc16
 
 
 class TestCrc16:
@@ -105,3 +105,89 @@ class TestPacketizer:
         codes = np.array([-32768, 32767, 0], dtype=np.int32)
         recovered = packetizer.depacketize(packetizer.packetize(codes))
         np.testing.assert_array_equal(recovered, codes)
+
+
+class TestPacketError:
+    def test_short_input_raises_typed_error(self):
+        with pytest.raises(PacketError, match="packet too short"):
+            Packet.from_bytes(b"\x00\x01\x02")
+
+    def test_packet_error_is_a_value_error(self):
+        # Pre-existing callers catching ValueError keep working.
+        assert issubclass(PacketError, ValueError)
+        with pytest.raises(ValueError):
+            Packet.from_bytes(b"")
+
+    def test_minimum_frame_parses(self):
+        # Header + CRC with an empty payload is the smallest legal frame.
+        header = (0).to_bytes(2, "big")
+        raw = header + crc16(header).to_bytes(2, "big")
+        packet = Packet.from_bytes(raw)
+        assert packet.valid and packet.payload == b""
+
+
+class TestDepacketizeLossy:
+    def _stream(self, n_samples=200, payload_bytes=16):
+        packetizer = Packetizer(payload_bytes=payload_bytes)
+        codes = np.arange(n_samples, dtype=np.int32) % 400 - 200
+        raw = [p.to_bytes() for p in packetizer.packetize(codes)]
+        return packetizer, codes, raw
+
+    def test_clean_stream_round_trips_with_empty_report(self):
+        packetizer, codes, raw = self._stream()
+        recovered, report = packetizer.depacketize_lossy(raw)
+        np.testing.assert_array_equal(recovered, codes)
+        assert report.accepted == report.received == len(raw)
+        assert report.missing == 0 and report.reordered == 0
+
+    def test_dropped_packet_counts_missing_samples(self):
+        packetizer, codes, raw = self._stream()
+        survivors = raw[:3] + raw[4:]
+        recovered, report = packetizer.depacketize_lossy(survivors)
+        assert report.missing == 1
+        assert recovered.size == codes.size - 8  # 16 B / 2 B per sample
+        np.testing.assert_array_equal(recovered[:24], codes[:24])
+        np.testing.assert_array_equal(recovered[24:], codes[32:])
+
+    def test_reordered_packets_are_resequenced(self):
+        # Interior swap: offsets are anchored at the first received
+        # packet, so later arrivals re-sort into transmit order.
+        packetizer, codes, raw = self._stream()
+        shuffled = raw[:2] + [raw[3], raw[2]] + raw[4:]
+        recovered, report = packetizer.depacketize_lossy(shuffled)
+        assert report.reordered == 1
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_duplicates_are_dropped(self):
+        packetizer, codes, raw = self._stream()
+        recovered, report = packetizer.depacketize_lossy(
+            raw[:1] + raw)
+        assert report.duplicates == 1
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_damaged_packets_are_discarded_not_fatal(self):
+        packetizer, codes, raw = self._stream()
+        flipped = bytearray(raw[2])
+        flipped[5] ^= 0xFF
+        stream = [raw[0], b"\x00", bytes(flipped)] + raw[3:]
+        recovered, report = packetizer.depacketize_lossy(stream)
+        assert report.malformed == 1  # the 1-byte runt
+        assert report.crc_failures == 1  # the bit-flipped packet
+        assert recovered.size < codes.size
+
+    def test_truncated_payload_drops_partial_sample(self):
+        packetizer = Packetizer(payload_bytes=16)
+        codes = np.arange(8, dtype=np.int32)
+        [packet] = packetizer.packetize(codes)
+        header = (packet.sequence).to_bytes(2, "big")
+        payload = packet.payload[:5]  # 2.5 samples survive
+        raw = header + payload + crc16(header + payload).to_bytes(2, "big")
+        recovered, report = packetizer.depacketize_lossy([raw])
+        assert report.trailing_bytes_dropped == 1
+        np.testing.assert_array_equal(recovered, codes[:2])
+
+    def test_empty_stream(self):
+        packetizer = Packetizer()
+        recovered, report = packetizer.depacketize_lossy([])
+        assert recovered.size == 0
+        assert report.to_dict()["received"] == 0

@@ -117,3 +117,62 @@ class TestClosedLoopSession:
             run_closed_loop_session(KalmanFilterDecoder(),
                                     SimulatedUser(), CursorTask(), rng,
                                     latency_steps=-1)
+
+
+class TestLinkDropDegradation:
+    def _session(self, seed=1234, **kwargs):
+        return run_closed_loop_session(
+            KalmanFilterDecoder(), SimulatedUser(noise_rms=0.2),
+            CursorTask(), np.random.default_rng(seed), n_trials=8,
+            **kwargs)
+
+    def test_drop_rate_zero_is_byte_identical_to_baseline(self):
+        # Graceful degradation must cost nothing when disabled: the
+        # explicit drop_rate=0.0 path may not consume a single extra
+        # RNG draw relative to the pre-fault-layer signature.
+        baseline = self._session()
+        explicit = self._session(drop_rate=0.0)
+        assert explicit.hits == baseline.hits
+        assert explicit.times_to_target_s == baseline.times_to_target_s
+        assert explicit.mean_path_efficiency == \
+            baseline.mean_path_efficiency
+        assert explicit.dropped_windows == 0
+
+    def test_dropped_windows_are_counted(self):
+        outcome = self._session(
+            drop_rate=0.5, drop_rng=np.random.default_rng(9))
+        assert outcome.total_windows > 0
+        assert 0 < outcome.dropped_windows < outcome.total_windows
+        assert outcome.dropped_fraction == pytest.approx(
+            outcome.dropped_windows / outcome.total_windows)
+        # Binomial: the observed fraction should be near the rate.
+        assert 0.3 < outcome.dropped_fraction < 0.7
+
+    def test_hold_last_command_keeps_the_session_alive(self):
+        # Even at heavy loss the session completes and still acquires
+        # some targets — the decoder coasts instead of crashing.
+        outcome = self._session(
+            drop_rate=0.6, drop_rng=np.random.default_rng(9))
+        assert outcome.trials == 8
+        assert outcome.hit_rate > 0.0
+
+    def test_heavy_loss_degrades_performance(self):
+        clean = self._session()
+        lossy = self._session(
+            drop_rate=0.7, drop_rng=np.random.default_rng(9))
+        clean_score = clean.hit_rate / max(clean.mean_time_to_target_s,
+                                           1e-9)
+        lossy_score = (lossy.hit_rate
+                       / max(lossy.mean_time_to_target_s, 1e-9)
+                       if lossy.hits else 0.0)
+        assert lossy_score < clean_score
+
+    def test_rejects_bad_drop_configuration(self, rng):
+        with pytest.raises(ValueError):
+            self._session(drop_rate=1.0,
+                          drop_rng=np.random.default_rng(9))
+        with pytest.raises(ValueError):
+            self._session(drop_rate=-0.1,
+                          drop_rng=np.random.default_rng(9))
+        with pytest.raises(ValueError, match="drop_rng"):
+            self._session(drop_rate=0.25)
