@@ -247,6 +247,14 @@ def test_bench_perf_kernels(tmp_path):
                             for e in entries}})
     write_manifest(Path("results") / "bench_manifest.json", manifest)
 
+    # Every run also extends the perf trajectory the CI bench-gate
+    # compares against (keyed by git SHA + quick/cpus config, so smoke
+    # runs never pollute full-run baselines).
+    from repro.obs.bench import append_history, history_record
+    append_history(history_record(entries, quick=QUICK,
+                                  cpus=payload["cpus"]),
+                   Path("results") / "bench_history.jsonl")
+
     lines = [f"{e['name']:>24}: {e['before_s'] * 1e3:9.2f} ms -> "
              f"{e['after_s'] * 1e3:9.2f} ms  ({e['speedup']:6.1f}x)"
              for e in entries]

@@ -11,8 +11,9 @@ from repro.analysis.rules import (  # noqa: F401  (import == registration)
     exports,
     parity,
     resilience,
+    telemetry,
     units,
 )
 
 __all__ = ["contracts", "determinism", "exports", "parity", "resilience",
-           "units"]
+           "telemetry", "units"]

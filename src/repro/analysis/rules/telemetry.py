@@ -1,0 +1,105 @@
+"""Rule ``driver-telemetry``: registered drivers report into the
+observability layer.
+
+The unified run timeline (:mod:`repro.obs.events`) is only as complete
+as the drivers feeding it: a driver that never opens a span renders its
+work invisible to ``python -m repro obs view``/``critical-path``, and
+one that never exports a metric contributes nothing to the
+percentile/histogram summaries the dashboards aggregate.  Every module
+listed in ``ALL_EXPERIMENTS`` / ``EXTENSION_EXPERIMENTS`` must
+therefore:
+
+* open at least one span (``with span("<name>.<stage>"): ...``) around
+  its work, and
+* export at least one metric (a call to ``inc``, ``observe``, or
+  ``set_gauge``).
+
+Registry discovery mirrors the ``experiment-contract`` rule (the
+``repro/experiments/__init__.py`` path within the analyzed set); drivers
+the registry names but the tree lacks are that rule's finding, not ours.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.rules.contracts import _registered_drivers
+
+__all__ = ["DriverTelemetryRule", "METRIC_CALLS"]
+
+#: Metric-export entry points of :mod:`repro.obs.metrics`.
+METRIC_CALLS = ("inc", "observe", "set_gauge")
+
+_REGISTRY_SUFFIX = ("repro", "experiments", "__init__.py")
+
+
+def _callee_name(node: ast.AST) -> str | None:
+    """Trailing name of a call target (``span`` or ``obs.span``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _opens_span(parsed: ParsedFile) -> bool:
+    """True when any ``with`` block enters a ``span(...)`` context."""
+    for node in ast.walk(parsed.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (isinstance(expr, ast.Call)
+                    and _callee_name(expr.func) == "span"):
+                return True
+    return False
+
+
+def _exports_metric(parsed: ParsedFile) -> bool:
+    """True when any metric-export helper is called."""
+    for node in ast.walk(parsed.tree):
+        if (isinstance(node, ast.Call)
+                and _callee_name(node.func) in METRIC_CALLS):
+            return True
+    return False
+
+
+@register_rule
+class DriverTelemetryRule(Rule):
+    """Registered drivers must span their work and export metrics."""
+
+    rule_id = "driver-telemetry"
+    description = ("registered driver never opens a span or never "
+                   "exports a metric (invisible to the run timeline "
+                   "and dashboards)")
+
+    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+        by_path = {parsed.path.resolve(): parsed for parsed in files}
+        registries = [parsed for parsed in files
+                      if parsed.path.parts[-3:] == _REGISTRY_SUFFIX]
+        for registry in registries:
+            package_dir = registry.path.resolve().parent
+            for module_name, _ in _registered_drivers(registry):
+                driver = by_path.get(package_dir / f"{module_name}.py")
+                if driver is None:
+                    continue  # experiment-contract reports the gap
+                if not _opens_span(driver):
+                    found = self.finding(
+                        driver, None,
+                        "driver never opens a span (with span(...)); "
+                        "its stages are invisible to the event "
+                        "timeline and critical-path analytics",
+                        line=1, col=0)
+                    if found is not None:
+                        yield found
+                if not _exports_metric(driver):
+                    found = self.finding(
+                        driver, None,
+                        "driver never exports a metric (no inc/observe/"
+                        "set_gauge call); dashboards and percentile "
+                        "summaries see none of its results",
+                        line=1, col=0)
+                    if found is not None:
+                        yield found

@@ -23,6 +23,7 @@ from repro.cache.fingerprint import fingerprint
 from repro.cache.keys import driver_key
 from repro.cache.stages import decode_result, encode_result, stage_caching
 from repro.cache.store import CacheStore
+from repro.obs.events import driver_scope, emit as emit_event
 from repro.obs.metrics import inc
 from repro.obs.trace import span
 
@@ -103,25 +104,28 @@ def run_and_save_cached(module: ModuleType,
     source_fingerprint = fingerprint(module.__name__)
     key = driver_key(name, source_fingerprint, base_seed, derived_seed)
 
-    entry = store.get(key)
-    if entry is not None:
-        inc("cache.driver.hits_total")
-        with span(f"experiment.{name}.cached", key=key[:12]):
-            result = result_from_payload(entry["payload"])
-        result.cache_info = {"hit": True, "key": key,
-                             "fingerprint": source_fingerprint}
-        result.cached_csv_text = entry["payload"]["csv_text"]
-        result.save_csv(output_dir)
-        return result
+    with driver_scope(name):
+        entry = store.get(key)
+        if entry is not None:
+            inc("cache.driver.hits_total")
+            emit_event("cache", "driver.hit", key=key[:12])
+            with span(f"experiment.{name}.cached", key=key[:12]):
+                result = result_from_payload(entry["payload"])
+            result.cache_info = {"hit": True, "key": key,
+                                 "fingerprint": source_fingerprint}
+            result.cached_csv_text = entry["payload"]["csv_text"]
+            result.save_csv(output_dir)
+            return result
 
-    inc("cache.driver.misses_total")
-    with stage_caching(store):
-        result = run_module(module, seed=seed)
-    result.cache_info = {"hit": False, "key": key,
-                         "fingerprint": source_fingerprint}
-    csv_path = result.save_csv(output_dir)
-    with csv_path.open("r", newline="", encoding="utf-8") as handle:
-        csv_text = handle.read()
-    store.put(key, result_payload(result, csv_text), kind="driver",
-              label=name)
+        inc("cache.driver.misses_total")
+        emit_event("cache", "driver.miss", key=key[:12])
+        with stage_caching(store):
+            result = run_module(module, seed=seed)
+        result.cache_info = {"hit": False, "key": key,
+                             "fingerprint": source_fingerprint}
+        csv_path = result.save_csv(output_dir)
+        with csv_path.open("r", newline="", encoding="utf-8") as handle:
+            csv_text = handle.read()
+        store.put(key, result_payload(result, csv_text), kind="driver",
+                  label=name)
     return result

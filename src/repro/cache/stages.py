@@ -38,6 +38,7 @@ from repro.analysis.engine import AnalysisError
 from repro.cache.fingerprint import fingerprint
 from repro.cache.keys import stage_key
 from repro.cache.store import CacheStore
+from repro.obs.events import emit as emit_event
 from repro.obs.metrics import inc
 from repro.obs.trace import span
 
@@ -194,12 +195,14 @@ def cached_stage(stage: str,
             entry = store.get(key)
             if entry is not None:
                 inc("cache.stage_hits")
+                emit_event("cache", "stage.hit", stage=stage)
                 payload = entry["payload"]
                 with span("cache.stage_hit", stage=stage):
                     if rng is not None and payload.get("rng_state"):
                         restore_generator(rng, payload["rng_state"])
                     return decode_result(payload["result"])
             inc("cache.stage_misses")
+            emit_event("cache", "stage.miss", stage=stage)
             result = func(*bound.args, **bound.kwargs)
             payload = {"result": encode_result(result)}
             if rng is not None:

@@ -29,6 +29,14 @@ Commands:
   :class:`repro.fault.FaultPlan`, writing ``fault_log.json`` +
   ``chaos_report.json``; byte-identical for a fixed ``--seed``
   (docs/ROBUSTNESS.md).
+* ``obs {view,query,diff,critical-path,bench-gate,report}`` — run
+  telemetry analytics (:mod:`repro.obs.analyze`): per-driver census and
+  per-stage rollups of an ``events.jsonl`` timeline, event queries,
+  run-vs-run diffs (exit 1 on deltas), structural/timed critical paths,
+  the perf-trajectory regression gate over
+  ``results/bench_history.jsonl`` (:mod:`repro.obs.bench`, exit 1 on
+  >20 % kernel slowdown), and the markdown/HTML safety-envelope
+  dashboard (:mod:`repro.obs.report`); see docs/OBSERVABILITY.md.
 
 Fault flags on ``evaluate``: ``--fault-plan PLAN.json`` injects the
 plan's faults and applies its retry policy; ``--max-retries N`` bounds
@@ -42,6 +50,9 @@ Global observability flags (valid after any subcommand):
   otherwise).
 * ``--metrics`` — collect counters/gauges/histograms and print the
   snapshot after the command finishes.
+* ``--events`` — record the deterministic run timeline and write it as
+  ``<output-dir>/events.jsonl`` (implies ``--trace --metrics``);
+  byte-identical for a fixed seed, serial or ``--jobs N``.
 * ``--quiet`` — suppress per-experiment renderings (artifacts are still
   written).
 """
@@ -62,6 +73,7 @@ from repro.experiments import (
     EXTENSION_EXPERIMENTS,
     experiment_name,
     is_recorded_failure,
+    render_result,
     run_module,
     run_module_resilient,
 )
@@ -160,7 +172,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         if not args.quiet:
             for (_, module), result in zip(selected, results):
                 print(f"== {result.title} ==")
-                print(module.render(result))
+                print(render_result(module, result))
                 print()
         if args.cache:
             _print_cache_summary(results)
@@ -188,7 +200,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         results.append(result)
         if not args.quiet:
             print(f"== {result.title} ==")
-            print(module.render(result))
+            print(render_result(module, result))
             print()
     if args.cache:
         _print_cache_summary(results)
@@ -337,14 +349,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         run_all(output_dir=DEFAULT_OUTPUT_DIR, seed=args.seed,
                 jobs=args.jobs, cache=args.cache)
         title = f"full evaluation (jobs={args.jobs})"
-    elif args.cache:
-        from repro.cache import run_and_save_cached
-        result = run_and_save_cached(known[args.experiment],
-                                     DEFAULT_OUTPUT_DIR, seed=args.seed)
-        title = result.title
     else:
-        result = run_module(known[args.experiment], seed=args.seed)
+        runner = None
+        if args.cache:
+            from repro.cache import run_and_save_cached
+
+            def runner(module, seed=None):
+                return run_and_save_cached(module, DEFAULT_OUTPUT_DIR,
+                                           seed=seed)
+        # Resilient path: a driver that dies (or recorded degraded
+        # FAILURE_COLUMNS rows) still profiles — the spans recorded up
+        # to the failure render, and the title reports the degradation
+        # instead of a missing-column crash.
+        result = run_module_resilient(known[args.experiment],
+                                      seed=args.seed, runner=runner)
         title = result.title
+        if is_recorded_failure(result) and not args.quiet:
+            print(render_result(known[args.experiment], result))
     print(f"== profile: {title} ==")
     print()
     print(obs.TRACER.render_tree())
@@ -443,6 +464,149 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_events_or_fail(path: str) -> list | None:
+    """Parse one events.jsonl, printing the error on failure."""
+    from repro.obs import analyze
+    try:
+        return analyze.load_events(path)
+    except (OSError, ValueError) as error:
+        print(f"obs: {error}", file=sys.stderr)
+        return None
+
+
+def _print_report(data, text: str, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(data, indent=2, sort_keys=True, default=str))
+    else:
+        print(text)
+
+
+def _cmd_obs_view(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+    events = _load_events_or_fail(args.events)
+    if events is None:
+        return 2
+    if args.rollup:
+        rows = analyze.rollup(events, include_engine=args.include_engine)
+        if args.top is not None:
+            rows = rows[:args.top]
+        _print_report(rows, analyze.render_rollup(
+            events, include_engine=args.include_engine, top_n=args.top),
+            args.format == "json")
+    else:
+        _print_report(analyze.summarize(events),
+                      analyze.render_summary(events),
+                      args.format == "json")
+    return 0
+
+
+def _cmd_obs_query(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+    events = _load_events_or_fail(args.events)
+    if events is None:
+        return 2
+    matched = analyze.filter_events(events, driver=args.driver,
+                                    kind=args.kind, name=args.name)
+    shown = matched if args.limit is None else matched[:args.limit]
+    for event in shown:
+        print(json.dumps(event, sort_keys=True, default=str))
+    if len(shown) < len(matched):
+        print(f"... {len(matched) - len(shown)} more "
+              f"({len(matched)} matched)", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+    events_a = _load_events_or_fail(args.events_a)
+    events_b = _load_events_or_fail(args.events_b)
+    if events_a is None or events_b is None:
+        return 2
+    report = analyze.diff_runs(events_a, events_b,
+                               include_engine=args.include_engine)
+    _print_report(report, analyze.render_diff(report),
+                  args.format == "json")
+    return 0 if report["equal"] else 1
+
+
+def _cmd_obs_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+    if args.timed:
+        try:
+            records = json.loads(Path(args.timed).read_text(
+                encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"obs: bad trace file: {error}", file=sys.stderr)
+            return 2
+        path = analyze.critical_path_spans(records)
+    else:
+        if args.events is None:
+            print("obs: critical-path needs an events.jsonl (or "
+                  "--timed TRACE.json)", file=sys.stderr)
+            return 2
+        events = _load_events_or_fail(args.events)
+        if events is None:
+            return 2
+        path = analyze.critical_path(events, driver=args.driver)
+    _print_report(path, analyze.render_critical_path(path),
+                  args.format == "json")
+    return 0
+
+
+def _cmd_obs_bench_gate(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+    try:
+        history = bench.load_history(args.history)
+    except ValueError as error:
+        print(f"obs: {error}", file=sys.stderr)
+        return 2
+    if args.input:
+        try:
+            payload = json.loads(Path(args.input).read_text(
+                encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"obs: bad bench input: {error}", file=sys.stderr)
+            return 2
+        record = bench.history_record(payload["entries"],
+                                      quick=payload.get("quick", False),
+                                      cpus=payload.get("cpus", 1))
+        if args.append:
+            bench.append_history(record, args.history)
+    elif history:
+        record = history[-1]
+    else:
+        print(f"obs: no bench history at {args.history} and no --input",
+              file=sys.stderr)
+        return 2
+    report = bench.check_regressions(record, history,
+                                     threshold=args.threshold,
+                                     window=args.window)
+    _print_report(report, bench.render_gate(report),
+                  args.format == "json")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import report as obs_report
+    dashboard = obs_report.build_dashboard(args.output_dir,
+                                           args.sessions)
+    if args.format == "json":
+        rendered = json.dumps(dashboard, indent=2, sort_keys=True,
+                              default=str) + "\n"
+    elif args.format == "html":
+        rendered = obs_report.render_html(dashboard)
+    else:
+        rendered = obs_report.render_markdown(dashboard)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered, encoding="utf-8")
+        print(f"dashboard written to {out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return 0
+
+
 def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by every subcommand."""
     parser.add_argument(
@@ -451,6 +615,11 @@ def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", action="store_true",
         help="collect metrics and print the snapshot afterwards")
+    parser.add_argument(
+        "--events", action="store_true",
+        help="record the unified telemetry timeline (spans, metrics, "
+             "faults, cache) and write <output-dir>/events.jsonl; "
+             "implies --trace and --metrics")
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-experiment renderings")
@@ -600,6 +769,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="gc: then remove oldest entries until the store fits")
     cache_cmd.set_defaults(func=_cmd_cache)
 
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="analytics over recorded run telemetry (events.jsonl, "
+             "bench history, safety dashboards)")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_view = obs_sub.add_parser(
+        "view", help="per-driver event census or per-stage rollup")
+    obs_view.add_argument("events", help="path to an events.jsonl")
+    obs_view.add_argument("--rollup", action="store_true",
+                          help="per-stage self/total event rollup "
+                               "instead of the census")
+    obs_view.add_argument("--top", type=int, default=None,
+                          help="limit the rollup to the N heaviest "
+                               "stages")
+    obs_view.add_argument("--include-engine", action="store_true",
+                          help="include engine-scope events (driver "
+                               "tag \"\")")
+    obs_view.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    obs_view.set_defaults(func=_cmd_obs_view)
+
+    obs_query = obs_sub.add_parser(
+        "query", help="filter events by driver/kind/name, printed as "
+                      "JSONL")
+    obs_query.add_argument("events", help="path to an events.jsonl")
+    obs_query.add_argument("--driver", default=None,
+                           help="exact driver tag (\"\" for engine "
+                                "scope)")
+    obs_query.add_argument("--kind", default=None,
+                           choices=("span_start", "span_end", "metric",
+                                    "fault", "cache"))
+    obs_query.add_argument("--name", default=None,
+                           help="name substring")
+    obs_query.add_argument("--limit", type=int, default=None)
+    obs_query.set_defaults(func=_cmd_obs_query)
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="structural diff of two runs' timelines (exit 1 "
+                     "on deltas)")
+    obs_diff.add_argument("events_a", help="baseline events.jsonl")
+    obs_diff.add_argument("events_b", help="candidate events.jsonl")
+    obs_diff.add_argument("--include-engine", action="store_true",
+                          help="also diff engine-scope events (serial "
+                               "vs parallel engines legitimately "
+                               "differ there)")
+    obs_diff.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    obs_diff.set_defaults(func=_cmd_obs_diff)
+
+    obs_cp = obs_sub.add_parser(
+        "critical-path",
+        help="heaviest span chain of a run (structural by default, "
+             "--timed for wall clock)")
+    obs_cp.add_argument("events", nargs="?", default=None,
+                        help="path to an events.jsonl (structural "
+                             "mode)")
+    obs_cp.add_argument("--driver", default=None,
+                        help="restrict to one driver's spans")
+    obs_cp.add_argument("--timed", default=None, metavar="TRACE.json",
+                        help="use recorded span durations from this "
+                             "trace instead (not byte-stable)")
+    obs_cp.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    obs_cp.set_defaults(func=_cmd_obs_critical_path)
+
+    obs_gate = obs_sub.add_parser(
+        "bench-gate",
+        help="perf-trajectory regression gate over the benchmark "
+             "history (exit 1 on regression)")
+    obs_gate.add_argument(
+        "--history", default=str(Path("results") / "bench_history.jsonl"),
+        help="history ledger (one JSON record per benchmark run)")
+    obs_gate.add_argument(
+        "--input", default=None, metavar="BENCH_perf.json",
+        help="gate this benchmark output instead of the ledger's last "
+             "entry")
+    obs_gate.add_argument(
+        "--append", action="store_true",
+        help="with --input: also append the run to the history ledger")
+    obs_gate.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="fractional per-kernel slowdown that fails (default 0.20)")
+    obs_gate.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-baseline width (median of the last N comparable "
+             "runs)")
+    obs_gate.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    obs_gate.set_defaults(func=_cmd_obs_bench_gate)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render the safety-envelope dashboard for a run directory")
+    obs_report.add_argument(
+        "--output-dir", default=str(DEFAULT_OUTPUT_DIR),
+        help="run output directory (fig4.csv/fig7.csv + manifests)")
+    obs_report.add_argument(
+        "--sessions", nargs="*", default=[], metavar="DIR",
+        help="additional session directories folded into the fleet "
+             "percentiles")
+    obs_report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the dashboard here instead of stdout")
+    obs_report.add_argument("--format", choices=("md", "html", "json"),
+                            default="md")
+    obs_report.set_defaults(func=_cmd_obs_report)
+
     for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,
                     validate_cmd, profile_cmd, analyze_cmd, cache_cmd,
                     chaos_cmd):
@@ -618,22 +895,34 @@ def main(argv: list[str] | None = None) -> int:
     seed = getattr(args, "seed", None)
     if seed is not None:
         obs.set_run_seed(seed)
-    trace_on = getattr(args, "trace", False)
-    metrics_on = getattr(args, "metrics", False)
+    # "is True" guards against the obs subcommands, whose positional
+    # `events` (a JSONL path) shares the attribute name with the flag.
+    events_on = getattr(args, "events", False) is True
+    trace_on = getattr(args, "trace", False) or events_on
+    metrics_on = getattr(args, "metrics", False) or events_on
     if trace_on:
         obs.enable_tracing()
     if metrics_on:
         obs.enable_metrics()
+    if events_on:
+        # Span and metric events only exist while their substrates
+        # record, so --events implies --trace and --metrics.
+        obs.enable_events()
     try:
         code = args.func(args)
-        if trace_on:
+        if events_on:
+            base = Path(getattr(args, "output_dir", DEFAULT_OUTPUT_DIR))
+            events_path = obs.EVENTS.write_jsonl(base / "events.jsonl")
+            if not getattr(args, "quiet", False):
+                print(f"events written to {events_path}")
+        if getattr(args, "trace", False):
             path = _trace_output_path(args)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(obs.TRACER.to_dicts(), indent=2,
                                        default=str) + "\n")
             if not getattr(args, "quiet", False):
                 print(f"trace written to {path}")
-        if metrics_on:
+        if getattr(args, "metrics", False):
             print("-- metrics --")
             print(obs.REGISTRY.render())
         return code

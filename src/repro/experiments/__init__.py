@@ -17,7 +17,8 @@ from pathlib import Path
 from types import ModuleType
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.report import DEFAULT_OUTPUT_DIR
+from repro.experiments.report import DEFAULT_OUTPUT_DIR, format_table
+from repro.obs.events import driver_scope
 from repro.obs.manifest import current_seed, set_run_seed
 from repro.obs.metrics import inc
 from repro.obs.trace import span
@@ -84,16 +85,17 @@ def run_module(module: ModuleType,
     if driver_seed is not None:
         set_run_seed(driver_seed)
     try:
-        start = time.perf_counter()
-        with span(f"experiment.{name}"):
-            result = module.run(**kwargs)
-        result.duration_s = time.perf_counter() - start
+        with driver_scope(name):
+            start = time.perf_counter()
+            with span(f"experiment.{name}"):
+                result = module.run(**kwargs)
+            result.duration_s = time.perf_counter() - start
+            inc("experiments.runs")
     finally:
         if driver_seed is not None:
             set_run_seed(previous_seed)
     result.seed = seed
     result.derived_seed = driver_seed
-    inc("experiments.runs")
     return result
 
 
@@ -121,6 +123,21 @@ def is_recorded_failure(result: ExperimentResult) -> bool:
     """True for a degraded recorded-failure result (the driver never
     produced real rows)."""
     return result.summary.get("status") == "failed"
+
+
+def render_result(module: ModuleType, result: ExperimentResult) -> str:
+    """Render a result through its driver, tolerating degraded runs.
+
+    Driver ``render`` functions assume their own row schema; a
+    recorded-failure result carries :data:`FAILURE_COLUMNS` rows
+    instead, so feeding it to ``module.render`` would die on the
+    missing columns/summary keys.  Every CLI rendering path (evaluate,
+    profile, verbose ``run_all``) goes through here so degraded
+    drivers print their failure row instead of erroring.
+    """
+    if is_recorded_failure(result):
+        return format_table(result.rows, list(FAILURE_COLUMNS))
+    return module.render(result)
 
 
 def run_module_resilient(module: ModuleType,
@@ -270,7 +287,7 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
         if verbose:
             for module, result in zip(modules, results):
                 print(f"== {result.title} ==")
-                print(module.render(result))
+                print(render_result(module, result))
                 print()
         return results
     results = []
@@ -295,7 +312,7 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
                 result.save_manifest(output_dir)
             if verbose:
                 print(f"== {result.title} ==")
-                print(module.render(result))
+                print(render_result(module, result))
                 print()
             results.append(result)
     return results
@@ -303,4 +320,5 @@ def run_all(output_dir: Path | str = DEFAULT_OUTPUT_DIR,
 
 __all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "FAILURE_COLUMNS",
            "ExperimentResult", "experiment_name", "is_recorded_failure",
-           "run_all", "run_module", "run_module_resilient"]
+           "render_result", "run_all", "run_module",
+           "run_module_resilient"]

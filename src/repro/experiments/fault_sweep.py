@@ -18,6 +18,7 @@ from repro.experiments.report import ascii_bars, format_table
 from repro.fault.injector import FaultInjector
 from repro.fault.plan import FaultPlan
 from repro.obs.manifest import current_seed
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 from repro.simulate.cursor_task import (CursorTask, SimulatedUser,
                                         run_closed_loop_session)
@@ -82,6 +83,8 @@ def run() -> ExperimentResult:
             (worst["hit_rate"] / clean["hit_rate"]
              if clean["hit_rate"] else 0.0),
     }
+    set_gauge("fault_sweep.hit_rate_retained_at_worst",
+              summary["hit_rate_retained_at_worst"])
     return ExperimentResult(
         name="fault_sweep",
         title="Extension: task success vs link packet loss "

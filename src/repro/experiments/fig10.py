@@ -20,6 +20,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.metrics import observe
 from repro.obs.trace import span
 
 #: The Fig. 10 x-axis.
@@ -65,6 +66,8 @@ def run() -> ExperimentResult:
             summary[f"{key}_fits_at_1024"] = fitting
             summary[f"{key}_max_channels"] = maxima[key]
             summary[f"{key}_avg_max_channels"] = mean_of(feasible_maxima)
+            observe("fig10.avg_max_channels",
+                    summary[f"{key}_avg_max_channels"])
     return ExperimentResult(
         name="fig10",
         title="Fig. 10: P_soc/P_budget with on-implant DNNs",

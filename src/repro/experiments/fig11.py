@@ -14,6 +14,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_bars, format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 
 COLUMNS = ["soc", "workload", "max_channels_full",
@@ -47,6 +48,7 @@ def run() -> ExperimentResult:
         "dncnn_avg_gain": mean_of(gains("dncnn")),
         "dncnn_any_benefit": any(g > 1.0 + 1e-9 for g in gains("dncnn")),
     }
+    set_gauge("fig11.mlp_avg_gain", summary["mlp_avg_gain"])
     return ExperimentResult(
         name="fig11",
         title="Fig. 11: channel gains from implant/wearable partitioning",

@@ -13,6 +13,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_bars, format_table
+from repro.obs.metrics import observe
 from repro.obs.trace import span
 
 #: The Fig. 12 x-axis.
@@ -47,6 +48,8 @@ def run() -> ExperimentResult:
                 values = [r["model_size_pct"] for r in rows
                           if r["channels"] == n and r["step"] == step]
                 summary[f"avg_model_size_pct_{n}_{step}"] = mean_of(values)
+                observe("fig12.avg_model_size_pct",
+                        summary[f"avg_model_size_pct_{n}_{step}"])
     return ExperimentResult(
         name="fig12",
         title="Fig. 12: feasible MLP size under combined optimizations",

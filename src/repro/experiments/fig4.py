@@ -11,6 +11,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import TABLE1
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 from repro.thermal.budget import assess
 from repro.units import to_mm2, to_mw, to_mw_per_cm2
@@ -41,6 +42,7 @@ def run() -> ExperimentResult:
             "max_density_mw_cm2": max(r["power_density_mw_cm2"]
                                       for r in rows),
         }
+    set_gauge("fig4.max_density_mw_cm2", summary["max_density_mw_cm2"])
     return ExperimentResult(
         name="fig4",
         title="Fig. 4: power vs area at 1024 channels (all below budget)",

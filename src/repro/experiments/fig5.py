@@ -14,6 +14,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 from repro.units import to_mw
 
@@ -66,6 +67,8 @@ def run() -> ExperimentResult:
             "mean_crossing_channels": mean_of(
                 [c for c in crossings.values() if c is not None]),
         }
+    set_gauge("fig5.mean_crossing_channels",
+              summary["mean_crossing_channels"])
     return ExperimentResult(
         name="fig5",
         title="Fig. 5: P_soc vs P_budget, naive and high-margin designs",

@@ -12,6 +12,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 
 #: The Fig. 6 x-axis.
@@ -55,6 +56,8 @@ def run() -> ExperimentResult:
                 fractions("high_margin", 8192))
             / len(list(wireless_socs())),
         }
+    set_gauge("fig6.high_margin_mean_at_8192",
+              summary["high_margin_mean_at_8192"])
     return ExperimentResult(
         name="fig6",
         title="Fig. 6: sensing area / total area vs channel count",

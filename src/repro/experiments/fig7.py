@@ -20,6 +20,7 @@ from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult, mean_of
 from repro.experiments.report import ascii_plot, format_table
 from repro.link.budget import LinkBudget
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 
 #: Sweep range of the Fig. 7 x-axis.
@@ -72,6 +73,8 @@ def run(budget: LinkBudget | None = None) -> ExperimentResult:
         "multiplier_at_20pct": mean_of(list(max_at_20.values())) / 1024,
         "multiplier_at_100pct": mean_of(list(max_at_100.values())) / 1024,
     }
+    set_gauge("fig7.multiplier_at_20pct", summary["multiplier_at_20pct"])
+    set_gauge("fig7.multiplier_at_100pct", summary["multiplier_at_100pct"])
     return ExperimentResult(
         name="fig7",
         title="Fig. 7: minimum QAM efficiency vs channel count",

@@ -13,6 +13,7 @@ from repro.dnn.layers import Conv1D, Dense
 from repro.dnn.macs import fmac_conv_example, fmac_matmul_example
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 
 COLUMNS = ["case", "mac_ops", "mac_seq", "total_macs"]
@@ -46,6 +47,10 @@ def run() -> ExperimentResult:
         "live_conv_consistent": (conv_live.mac_ops,
                                  conv_live.mac_seq) == (4, 8),
     }
+    set_gauge("fig8.paper_match",
+              float(summary["matmul_matches_paper"]
+                    and summary["conv_matches_paper"]
+                    and summary["live_conv_consistent"]))
     return ExperimentResult(
         name="fig8",
         title="Fig. 8: #MACop / MACseq decomposition examples",

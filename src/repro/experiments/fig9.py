@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.accel.power import AcceleratorPowerModel, fig9_power_table
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import ascii_plot, format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 
 COLUMNS = ["design", "mac_seq", "mac_hw", "mac_ops", "layer_power_mw",
@@ -30,6 +31,8 @@ def run(model: AcceleratorPowerModel | None = None) -> ExperimentResult:
             rows[i]["layer_power_mw"] <= rows[i + 1]["layer_power_mw"]
             for i in range(5, 11)),
     }
+    set_gauge("fig9.pe_fraction_design_12",
+              summary["pe_fraction_design_12"])
     return ExperimentResult(
         name="fig9",
         title="Fig. 9: accelerator design points — PE power dominance",

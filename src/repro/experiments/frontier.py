@@ -15,6 +15,7 @@ from repro.core.scaling import scale_to_standard
 from repro.core.socs import wireless_socs
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 
 #: The short-term scaling target the paper repeatedly discusses (2x).
@@ -55,6 +56,8 @@ def run() -> ExperimentResult:
         "n_socs_with_feasible_2048": sum(
             1 for name in best_at_target if best_at_target[name]),
     }
+    set_gauge("frontier.n_socs_with_feasible_2048",
+              float(summary["n_socs_with_feasible_2048"]))
     return ExperimentResult(
         name="frontier",
         title="Extension: strategy frontier across wireless SoCs",

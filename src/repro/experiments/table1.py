@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.socs import TABLE1
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import format_table
+from repro.obs.metrics import set_gauge
 from repro.obs.trace import span
 from repro.units import to_khz, to_mm2, to_mw_per_cm2
 
@@ -37,6 +38,8 @@ def run() -> ExperimentResult:
             "channel_range": (min(r["channels"] for r in rows),
                               max(r["channels"] for r in rows)),
         }
+    set_gauge("table1.n_designs", float(summary["n_designs"]))
+    set_gauge("table1.n_wireless", float(summary["n_wireless"]))
     return ExperimentResult(name="table1",
                             title="Table 1: implanted SoC designs",
                             rows=rows, summary=summary, columns=COLUMNS)

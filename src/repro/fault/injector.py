@@ -25,6 +25,8 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.fault.plan import FaultPlan, derive_fault_seed
+from repro.obs.events import emit as emit_event
+from repro.obs.events import events_enabled
 from repro.obs.metrics import inc
 
 __all__ = ["FaultEvent", "FaultInjector"]
@@ -104,6 +106,9 @@ class FaultInjector:
             self.counters["injected"] += 1
             inc("fault.injected")
             inc(f"fault.{domain}.injected")
+        if events_enabled():
+            emit_event("fault", f"{domain}.{kind}", target=target,
+                       **detail)
         return event
 
     def record_recovered(self, domain: str, target: str,

@@ -20,6 +20,17 @@ verified by ``benchmarks/test_bench_obs_overhead.py``.
 
 from __future__ import annotations
 
+from repro.obs.events import (
+    ENGINE_SCOPE,
+    EVENTS,
+    Event,
+    EventLog,
+    driver_scope,
+    emit,
+    events_enabled,
+)
+from repro.obs.events import disable as disable_events
+from repro.obs.events import enable as enable_events
 from repro.obs.manifest import (
     build_manifest,
     current_seed,
@@ -53,29 +64,35 @@ from repro.obs.trace import enable as enable_tracing
 
 
 def enable_all() -> None:
-    """Turn on both tracing and metrics collection."""
+    """Turn on tracing, metrics, and event-timeline collection."""
     enable_tracing()
     enable_metrics()
+    enable_events()
 
 
 def disable_all() -> None:
-    """Turn off tracing and metrics (instrumentation becomes no-ops)."""
+    """Turn off tracing, metrics, and events (instrumentation becomes
+    no-ops)."""
     disable_tracing()
     disable_metrics()
+    disable_events()
 
 
 def reset_all() -> None:
-    """Drop all recorded spans and metric values."""
+    """Drop all recorded spans, metric values, and timeline events."""
     TRACER.reset()
     REGISTRY.reset()
+    EVENTS.reset()
 
 
 __all__ = [
-    "REGISTRY", "TRACER", "MetricsRegistry", "Span", "Tracer",
-    "build_manifest", "current_seed", "disable_all", "disable_metrics",
-    "disable_tracing", "enable_all", "enable_metrics", "enable_tracing",
-    "environment_info", "hotspots", "inc", "metrics_enabled", "observe",
-    "render_hotspots", "reset_all", "seeded_rng", "set_gauge",
-    "set_run_seed", "span", "span_from_dict", "traced", "tracing_enabled",
-    "write_manifest",
+    "ENGINE_SCOPE", "EVENTS", "Event", "EventLog", "REGISTRY", "TRACER",
+    "MetricsRegistry", "Span", "Tracer",
+    "build_manifest", "current_seed", "disable_all", "disable_events",
+    "disable_metrics", "disable_tracing", "driver_scope", "emit",
+    "enable_all", "enable_events", "enable_metrics", "enable_tracing",
+    "environment_info", "events_enabled", "hotspots", "inc",
+    "metrics_enabled", "observe", "render_hotspots", "reset_all",
+    "seeded_rng", "set_gauge", "set_run_seed", "span", "span_from_dict",
+    "traced", "tracing_enabled", "write_manifest",
 ]

@@ -18,13 +18,40 @@ benchmark harness uses to build its manifest.
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Sequence
+
+from repro.obs.events import emit as _emit_event
+from repro.obs.events import events_enabled as _events_enabled
 
 __all__ = ["MetricsRegistry", "REGISTRY", "inc", "set_gauge", "observe",
-           "enable", "disable", "metrics_enabled"]
+           "enable", "disable", "metrics_enabled", "percentile"]
 
 #: Cap on raw values retained per histogram (protects long runs).
 _HISTOGRAM_CAP = 4096
+
+#: Percentiles reported by every histogram summary.
+SUMMARY_PERCENTILES = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of a non-empty sample.
+
+    The nearest-rank method returns an actual observed value (no
+    interpolation), so summaries stay exact and deterministic for
+    integer-valued metrics.
+
+    Raises:
+        ValueError: on an empty sample or a percentile outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sample")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if pct == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
 
 
 class _Histogram:
@@ -50,15 +77,18 @@ class _Histogram:
     def summary(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0}
-        ordered = sorted(self.values)
-        return {
+        summary = {
             "count": self.count,
             "sum": self.total,
             "mean": self.total / self.count,
             "min": self.min,
             "max": self.max,
-            "p50": ordered[len(ordered) // 2],
         }
+        # Percentiles come from the retained sample (exact up to the
+        # retention cap; the streaming moments above are always exact).
+        for pct in SUMMARY_PERCENTILES:
+            summary[f"p{pct}"] = percentile(self.values, pct)
+        return summary
 
 
 class MetricsRegistry:
@@ -213,12 +243,16 @@ def inc(name: str, value: float = 1.0) -> None:
     """Increment a counter on the global registry; no-op when disabled."""
     if _enabled:
         REGISTRY.inc(name, value)
+        if _events_enabled():
+            _emit_event("metric", name, op="inc", value=value)
 
 
 def set_gauge(name: str, value: float) -> None:
     """Set a gauge on the global registry; no-op when disabled."""
     if _enabled:
         REGISTRY.set_gauge(name, value)
+        if _events_enabled():
+            _emit_event("metric", name, op="gauge", value=value)
 
 
 def observe(name: str, value: float) -> None:
@@ -226,3 +260,5 @@ def observe(name: str, value: float) -> None:
     disabled."""
     if _enabled:
         REGISTRY.observe(name, value)
+        if _events_enabled():
+            _emit_event("metric", name, op="observe", value=value)

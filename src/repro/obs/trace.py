@@ -28,11 +28,28 @@ from __future__ import annotations
 
 import functools
 import json
+import sys
 import threading
 import time
 
+from repro.obs.events import emit as _emit_event
+from repro.obs.events import events_enabled as _events_enabled
 from repro.units import to_ms, to_us
 from typing import Any, Callable, Iterable
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+
+def _peak_rss_bytes() -> int | None:
+    """Current peak RSS (bytes), or None where unavailable."""
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
 
 __all__ = ["Span", "Tracer", "TRACER", "span", "span_from_dict", "traced",
            "enable", "disable", "tracing_enabled"]
@@ -47,7 +64,8 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "start_s", "end_s", "children",
-                 "thread_name", "_tracer")
+                 "thread_name", "rss_delta_bytes", "_rss_start",
+                 "_tracer")
 
     def __init__(self, name: str, attrs: dict[str, Any],
                  tracer: "Tracer") -> None:
@@ -57,6 +75,8 @@ class Span:
         self.end_s = 0.0
         self.children: list[Span] = []
         self.thread_name = threading.current_thread().name
+        self.rss_delta_bytes: int | None = None
+        self._rss_start: int | None = None
         self._tracer = tracer
 
     @property
@@ -77,11 +97,21 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tracer._push(self)
+        if _events_enabled():
+            _emit_event("span_start", self.name, **self.attrs)
+        self._rss_start = _peak_rss_bytes()
         self.start_s = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         self.end_s = time.perf_counter()
+        rss_end = _peak_rss_bytes()
+        if rss_end is not None and self._rss_start is not None:
+            # Peak RSS is monotonic: a positive delta means this span
+            # pushed the process to a new high-water mark.
+            self.rss_delta_bytes = rss_end - self._rss_start
+        if _events_enabled():
+            _emit_event("span_end", self.name, **self.attrs)
         self._tracer._pop(self)
         return False
 
@@ -93,6 +123,8 @@ class Span:
             "self_time_s": self.self_time_s,
             "thread": self.thread_name,
         }
+        if self.rss_delta_bytes:
+            record["rss_delta_bytes"] = self.rss_delta_bytes
         if self.attrs:
             record["attrs"] = dict(self.attrs)
         if self.children:
@@ -294,6 +326,7 @@ def span_from_dict(record: dict[str, Any],
     node.start_s = 0.0
     node.end_s = float(record.get("duration_s", 0.0))
     node.thread_name = record.get("thread", node.thread_name)
+    node.rss_delta_bytes = record.get("rss_delta_bytes")
     node.children = [span_from_dict(child, tracer)
                      for child in record.get("children", [])]
     return node

@@ -34,6 +34,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.obs import events as _events
 from repro.obs import manifest as _manifest
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -64,7 +65,8 @@ def _run_one(name: str, seed: int | None, output_dir: str,
              trace_on: bool, metrics_on: bool,
              cache: bool = False,
              plan_record: dict[str, Any] | None = None,
-             attempt: int = 0) -> dict[str, Any]:
+             attempt: int = 0,
+             events_on: bool = False) -> dict[str, Any]:
     """Worker-side entry: run one driver, save its CSV, export obs state.
 
     Runs in the worker process.  Workers are reused across tasks (and,
@@ -89,6 +91,7 @@ def _run_one(name: str, seed: int | None, output_dir: str,
 
     _trace.TRACER.reset()
     _metrics.REGISTRY.reset()
+    _events.EVENTS.reset()
     if trace_on:
         _trace.enable()
     else:
@@ -97,6 +100,10 @@ def _run_one(name: str, seed: int | None, output_dir: str,
         _metrics.enable()
     else:
         _metrics.disable()
+    if events_on:
+        _events.enable()
+    else:
+        _events.disable()
 
     if plan_record is not None:
         from repro.fault.plan import FaultPlan, InjectedWorkerFault
@@ -121,12 +128,18 @@ def _run_one(name: str, seed: int | None, output_dir: str,
         "spans": _trace.TRACER.to_dicts() if trace_on else [],
         "metrics": (_metrics.REGISTRY.export_state()
                     if metrics_on else None),
+        "events": _events.EVENTS.to_dicts() if events_on else [],
     }
 
 
 def _merge_payload(payload: dict[str, Any]) -> None:
-    """Fold one worker's span forest and metrics into the parent's
-    process-wide tracer and registry."""
+    """Fold one worker's span forest, metrics, and timeline events into
+    the parent's process-wide observability state.
+
+    Called in driver submission order (never completion order), so the
+    merged event timeline is deterministic for a fixed seed — the
+    byte-identity contract of ``events.jsonl`` under ``--jobs N``.
+    """
     if payload["spans"]:
         roots = []
         for record in payload["spans"]:
@@ -136,6 +149,8 @@ def _merge_payload(payload: dict[str, Any]) -> None:
         _trace.TRACER.adopt(roots)
     if payload["metrics"] is not None:
         _metrics.REGISTRY.merge_state(payload["metrics"])
+    if payload.get("events"):
+        _events.EVENTS.adopt(payload["events"])
 
 
 def run_parallel(modules: Sequence[Any],
@@ -194,6 +209,7 @@ def run_parallel(modules: Sequence[Any],
     names = [experiment_name(module) for module in modules]
     trace_on = _trace.tracing_enabled()
     metrics_on = _metrics.metrics_enabled()
+    events_on = _events.events_enabled()
     plan_record = fault_plan.to_dict() if fault_plan is not None else None
     if injector is None and fault_plan is not None:
         from repro.fault.injector import FaultInjector
@@ -207,7 +223,7 @@ def run_parallel(modules: Sequence[Any],
                                              seconds=seconds)
         return pool.submit(_run_one, name, seed, str(output_dir),
                            trace_on, metrics_on, cache, plan_record,
-                           attempt)
+                           attempt, events_on)
 
     payloads: list[dict[str, Any]] = []
     failures: list[tuple[int, str, int, str]] = []

@@ -1,10 +1,12 @@
-"""Corpus fixture: contract-clean driver."""
+"""Corpus fixture: contract- and telemetry-clean driver."""
 
 COLUMNS = ["channel", "power_mw"]
 
 
 def run():
-    rows = [{"channel": 1, "power_mw": 0.5}]
+    with span("okdriver.rows"):  # noqa: F821 - shape only, never run
+        rows = [{"channel": 1, "power_mw": 0.5}]
+    set_gauge("okdriver.n_rows", len(rows))  # noqa: F821
     return ExperimentResult(  # noqa: F821 - contract shape, never run
         name="okdriver", rows=rows, columns=COLUMNS)
 

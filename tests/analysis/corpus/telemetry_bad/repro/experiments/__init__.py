@@ -1,0 +1,5 @@
+"""Corpus fixture: registry whose driver emits no telemetry at all."""
+
+from . import dark
+
+ALL_EXPERIMENTS = (dark,)

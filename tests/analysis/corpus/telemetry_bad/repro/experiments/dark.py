@@ -1,0 +1,13 @@
+"""Corpus fixture: contract-clean driver with no spans and no metrics."""
+
+COLUMNS = ["step", "value"]
+
+
+def run():
+    rows = [{"step": 0, "value": 1.0}]
+    return ExperimentResult(  # noqa: F821 - contract shape, never run
+        name="dark", rows=rows, columns=COLUMNS)
+
+
+def render(result):
+    return str(result)

@@ -1,0 +1,5 @@
+"""Corpus fixture: registry whose driver reports full telemetry."""
+
+from . import lit
+
+ALL_EXPERIMENTS = (lit,)

@@ -1,0 +1,17 @@
+"""Corpus fixture: driver that spans its work and exports metrics."""
+
+COLUMNS = ["step", "value"]
+
+
+def run():
+    with span("lit.sweep"):  # noqa: F821 - shape only, never run
+        rows = [{"step": 0, "value": 1.0}]
+    for row in rows:
+        observe("lit.value", row["value"])  # noqa: F821
+    inc("lit.rows", len(rows))  # noqa: F821
+    return ExperimentResult(  # noqa: F821 - contract shape, never run
+        name="lit", rows=rows, columns=COLUMNS)
+
+
+def render(result):
+    return str(result)

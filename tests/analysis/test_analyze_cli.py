@@ -18,7 +18,8 @@ def test_corpus_fails_the_gate(capsys):
     assert "[experiment-contract]" in out
     assert "[export-hygiene]" in out
     assert "[resilience]" in out
-    assert "18 new finding(s)" in out
+    assert "[driver-telemetry]" in out
+    assert "22 new finding(s)" in out
 
 
 def test_json_report_structure(tmp_path, capsys):
@@ -27,19 +28,19 @@ def test_json_report_structure(tmp_path, capsys):
                  "--format", "json", "--output", str(report_path)])
     assert code == 1
     report = json.loads(report_path.read_text(encoding="utf-8"))
-    assert report["counts"]["new"] == 18
+    assert report["counts"]["new"] == 22
     assert report["counts"]["baselined"] == 0
     assert sorted(rule["id"] for rule in report["rules"]) == [
-        "determinism", "experiment-contract", "export-hygiene",
-        "parity-oracle", "resilience", "units"]
+        "determinism", "driver-telemetry", "experiment-contract",
+        "export-hygiene", "parity-oracle", "resilience", "units"]
     findings = report["findings"]
-    assert len(findings) == 18
+    assert len(findings) == 22
     sample = findings[0]
     assert {"path", "line", "col", "rule", "message", "fingerprint",
             "baselined"} <= set(sample)
     assert all(not f["baselined"] for f in findings)
     # stdout also carries the JSON document for piping
-    assert json.loads(capsys.readouterr().out)["counts"]["new"] == 18
+    assert json.loads(capsys.readouterr().out)["counts"]["new"] == 22
 
 
 def test_update_baseline_then_gate_passes(tmp_path, capsys):
@@ -48,13 +49,13 @@ def test_update_baseline_then_gate_passes(tmp_path, capsys):
                  "--update-baseline"])
     assert code == 0
     document = json.loads(baseline.read_text(encoding="utf-8"))
-    assert len(document["entries"]) == 18
+    assert len(document["entries"]) == 22
 
     capsys.readouterr()
     code = main(["analyze", str(CORPUS), "--baseline", str(baseline)])
     out = capsys.readouterr().out
     assert code == 0
-    assert "0 new finding(s), 18 baselined" in out
+    assert "0 new finding(s), 22 baselined" in out
 
 
 def test_new_violation_breaks_a_baselined_gate(tmp_path, capsys):

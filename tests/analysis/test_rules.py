@@ -10,9 +10,12 @@ from repro.analysis import (AnalysisError, all_rules, analyze_paths,
 
 CORPUS = Path(__file__).parent / "corpus"
 
-#: Findings each corpus fixture is designed to produce.
+#: Findings each corpus fixture is designed to produce.  The
+#: driver-telemetry count spans two fixtures: contracts_bad/broken.py
+#: (2: no span, no metric) and telemetry_bad/dark.py (2 more).
 EXPECTED_BY_RULE = {
     "determinism": 4,
+    "driver-telemetry": 4,
     "experiment-contract": 5,
     "export-hygiene": 3,
     "parity-oracle": 2,
@@ -21,7 +24,7 @@ EXPECTED_BY_RULE = {
 }
 
 
-def test_registry_exposes_all_six_rules():
+def test_registry_exposes_all_rules():
     assert sorted(rule.rule_id for rule in all_rules()) == sorted(
         EXPECTED_BY_RULE)
     assert rule_by_id("units").rule_id == "units"
@@ -86,7 +89,10 @@ def test_parity_rule_satisfied_by_covering_test():
 
 
 def test_contract_rule_broken_driver_and_missing_module():
-    findings = analyze_paths([CORPUS / "contracts_bad"])
+    all_findings = analyze_paths([CORPUS / "contracts_bad"])
+    findings = [f for f in all_findings if f.rule == "experiment-contract"]
+    # broken.py also trips driver-telemetry (no span, no metric).
+    assert len(all_findings) == 7
     assert len(findings) == 5
     blob = " | ".join(f.message for f in findings)
     assert "missing module-level def render()" in blob
@@ -132,6 +138,15 @@ def test_resilience_rule_accepts_escaping_while_true(tmp_path):
         "            continue\n",
         encoding="utf-8")
     assert analyze_paths([target]) == []
+
+
+def test_telemetry_rule_dark_driver_and_clean_fixture():
+    findings = analyze_paths([CORPUS / "telemetry_bad"])
+    assert len(findings) == 2
+    blob = " | ".join(f.message for f in findings)
+    assert "never opens a span" in blob
+    assert "never exports a metric" in blob
+    assert analyze_paths([CORPUS / "telemetry_good"]) == []
 
 
 def test_default_scan_skips_corpus_directories():

@@ -1,0 +1,158 @@
+"""End-to-end tests of ``python -m repro obs`` and ``--events`` runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import append_history, history_record
+
+
+@pytest.fixture
+def events_run(tmp_path, capsys):
+    """One small --events run; yields (output_dir, events_path)."""
+    out_dir = tmp_path / "run"
+    assert main(["evaluate", "table1", "fig4", "--seed", "7", "--events",
+                 "--quiet", "--output-dir", str(out_dir)]) == 0
+    capsys.readouterr()
+    return out_dir, out_dir / "events.jsonl"
+
+
+class TestEventsFlag:
+    def test_events_jsonl_written_and_parseable(self, events_run):
+        _, events_path = events_run
+        assert events_path.exists()
+        events = [json.loads(line)
+                  for line in events_path.read_text().splitlines()]
+        assert events
+        assert {e["driver"] for e in events} >= {"table1", "fig4"}
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_fixed_seed_events_byte_identical(self, tmp_path, capsys):
+        paths = []
+        for name in ("a", "b"):
+            out_dir = tmp_path / name
+            assert main(["evaluate", "table1", "--seed", "7", "--events",
+                         "--quiet", "--output-dir", str(out_dir)]) == 0
+            paths.append(out_dir / "events.jsonl")
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_no_events_file_without_flag(self, tmp_path, capsys):
+        out_dir = tmp_path / "plain"
+        assert main(["evaluate", "table1", "--quiet",
+                     "--output-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert not (out_dir / "events.jsonl").exists()
+
+
+class TestObsView:
+    def test_view_census(self, events_run, capsys):
+        _, events_path = events_run
+        assert main(["obs", "view", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig4" in out
+
+    def test_view_rollup_and_json(self, events_run, capsys):
+        _, events_path = events_run
+        assert main(["obs", "view", str(events_path), "--rollup",
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["span"] == "experiment.table1" for row in rows)
+
+    def test_view_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["obs", "view", str(tmp_path / "nope.jsonl")]) == 2
+        assert "obs:" in capsys.readouterr().err
+
+
+class TestObsQuery:
+    def test_query_filters(self, events_run, capsys):
+        _, events_path = events_run
+        assert main(["obs", "query", str(events_path),
+                     "--driver", "fig4", "--kind", "metric"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in out]
+        assert events
+        assert all(e["driver"] == "fig4" and e["kind"] == "metric"
+                   for e in events)
+
+
+class TestObsDiff:
+    def test_same_run_diffs_equal(self, events_run, capsys):
+        _, events_path = events_run
+        assert main(["obs", "diff", str(events_path),
+                     str(events_path)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_different_runs_exit_one(self, events_run, tmp_path, capsys):
+        _, events_path = events_run
+        other_dir = tmp_path / "other"
+        assert main(["evaluate", "table1", "--seed", "7", "--events",
+                     "--quiet", "--output-dir", str(other_dir)]) == 0
+        capsys.readouterr()
+        code = main(["obs", "diff", str(events_path),
+                     str(other_dir / "events.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "runs differ" in out
+
+
+class TestObsCriticalPath:
+    def test_structural_path(self, events_run, capsys):
+        _, events_path = events_run
+        assert main(["obs", "critical-path", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "share=" in out
+
+
+class TestObsBenchGate:
+    def _seed_history(self, path, after_s_list):
+        for after_s in after_s_list:
+            record = history_record(
+                [{"name": "rice_encode", "after_s": after_s,
+                  "speedup": 10.0}], quick=True, cpus=4, sha="seed")
+            append_history(record, path)
+
+    def test_gate_passes_on_stable_history(self, tmp_path, capsys):
+        history = tmp_path / "bench_history.jsonl"
+        self._seed_history(history, [0.010, 0.010, 0.010, 0.0101])
+        assert main(["obs", "bench-gate", "--history",
+                     str(history)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_gate_fails_on_25pct_slowdown(self, tmp_path, capsys):
+        history = tmp_path / "bench_history.jsonl"
+        self._seed_history(history, [0.010, 0.010, 0.010])
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps({"entries": [
+            {"name": "rice_encode", "after_s": 0.0125,
+             "speedup": 8.0}], "quick": True, "cpus": 4}),
+            encoding="utf-8")
+        code = main(["obs", "bench-gate", "--history", str(history),
+                     "--input", str(slow)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "regression" in out
+
+    def test_empty_history_exits_two(self, tmp_path, capsys):
+        assert main(["obs", "bench-gate", "--history",
+                     str(tmp_path / "none.jsonl")]) == 2
+
+
+class TestObsReport:
+    def test_markdown_report(self, events_run, capsys):
+        out_dir, _ = events_run
+        assert main(["obs", "report", "--output-dir",
+                     str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "power_budget" in out and "Overall" in out
+
+    def test_html_report_written(self, events_run, tmp_path, capsys):
+        out_dir, _ = events_run
+        target = tmp_path / "dash.html"
+        assert main(["obs", "report", "--output-dir", str(out_dir),
+                     "--format", "html", "--out", str(target)]) == 0
+        assert target.read_text(encoding="utf-8").startswith(
+            "<!DOCTYPE html>")

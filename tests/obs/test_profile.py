@@ -64,3 +64,29 @@ class TestEndToEnd:
         names = {s.name for s in spots}
         assert "experiment.fig8" in names
         assert "fig8.worked_examples" in names
+
+
+class TestProfileCli:
+    def test_profile_of_degraded_failure_run(self, monkeypatch, capsys):
+        """``python -m repro profile`` must render a profile — not
+        crash — when the driver dies and only FAILURE_COLUMNS rows are
+        recorded (ISSUE 6 satellite)."""
+        from repro.cli import main
+        from repro.experiments import fig8
+
+        def explode(seed=None):
+            raise RuntimeError("injected driver failure")
+
+        monkeypatch.setattr(fig8, "run", explode)
+        assert main(["profile", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "== profile:" in out
+        assert "failed" in out.lower() or "error" in out.lower()
+
+    def test_profile_of_healthy_run(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "fig8", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.fig8" in out
+        assert "hotspots" in out
