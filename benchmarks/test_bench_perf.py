@@ -14,9 +14,14 @@ JSON records honest speedups for the exact code in the tree:
   narrowing;
 * ``ber_sweep`` — per-point ``measure_ber`` calls vs the batched
   common-random-numbers sweep;
-* ``run_all`` — serial vs ``jobs=4`` wall clock for the full evaluation
-  (the >= 2x contract only applies on multi-core hosts; single-CPU
-  runners record the honest number without asserting it).
+* ``mc_grid_batch`` — per-(scheme, point) ``measure_ber`` calls vs one
+  whole-grid ``measure_ber_grid`` pass (>= 5x contract);
+* ``run_all_jobs4`` — serial vs a *cold* ``jobs=4`` run (pool startup
+  included);
+* ``run_all_warm_jobs4`` — serial vs a second ``jobs=4`` run against
+  the already-warm persistent pool (the >= 2.5x contract only applies
+  on multi-core hosts; single-CPU runners record the honest number
+  without asserting it).
 
 Set ``REPRO_BENCH_QUICK=1`` (CI does) for a reduced-size smoke run: same
 comparisons and the same JSON shape, smaller inputs and no speedup
@@ -48,8 +53,10 @@ from repro.core.explorer import (
 from repro.core.scaling import scale_to_standard
 from repro.core.socs import soc_by_number
 from repro.experiments import run_all
-from repro.link.channel import measure_ber, measure_ber_sweep
-from repro.link.modulation import MQAM
+from repro.link.channel import (measure_ber, measure_ber_grid,
+                                measure_ber_sweep)
+from repro.link.modulation import BPSK, MQAM, OOK, QPSK
+from repro.perf.pool import shutdown_pool
 from repro.thermal.grid import ChipThermalGrid
 
 #: Where the before/after numbers land (repo root, next to ROADMAP.md).
@@ -62,6 +69,13 @@ MIN_RICE_SPEEDUP = 10.0
 
 #: Parallel fan-out contract — only meaningful with real parallelism.
 MIN_RUN_ALL_SPEEDUP = 2.0
+
+#: Warm-pool contract: with workers already up, ``jobs=4`` must beat
+#: serial by more than the cold pool does (no startup to amortize).
+MIN_RUN_ALL_WARM_SPEEDUP = 2.5
+
+#: Whole-grid Monte-Carlo batching contract.
+MIN_MC_GRID_SPEEDUP = 5.0
 
 
 def _best_seconds(func, *, repeat: int = 3, number: int = 1) -> float:
@@ -189,35 +203,77 @@ def _bench_ber_sweep(entries: list[dict]) -> None:
     del rng
 
 
+def _bench_mc_grid(entries: list[dict]) -> None:
+    """Whole-grid Monte-Carlo batching vs per-(scheme, point) calls."""
+    schemes = [OOK(), BPSK(), QPSK()]
+    grid = np.linspace(2.0, 12.0, 4 if QUICK else 21)
+    n_bits = 20_000 if QUICK else 400_000
+
+    def per_point() -> None:
+        for index, scheme in enumerate(schemes):
+            rng = np.random.default_rng(100 + index)
+            for point in grid:
+                measure_ber(scheme, float(point), n_bits, rng=rng)
+
+    before = _best_seconds(per_point, repeat=2)
+    after = _best_seconds(
+        lambda: measure_ber_grid(schemes, grid, n_bits, seed=3),
+        repeat=2)
+    entries.append(_entry("mc_grid_batch", before, after,
+                          schemes=len(schemes), points=len(grid),
+                          n_bits=n_bits))
+    if not QUICK:
+        assert before / after >= MIN_MC_GRID_SPEEDUP, (
+            f"measure_ber_grid only {before / after:.2f}x over "
+            f"per-point calls")
+
+
 def _bench_run_all(entries: list[dict], tmp_path: Path) -> None:
     jobs = 4
     serial_dir = tmp_path / "serial"
     parallel_dir = tmp_path / "parallel"
+    warm_dir = tmp_path / "warm"
     before = _best_seconds(
         lambda: run_all(output_dir=serial_dir, seed=2026,
                         include_extensions=True),
         repeat=1)
+    shutdown_pool()  # cold number includes warm-pool startup
     after = _best_seconds(
         lambda: run_all(output_dir=parallel_dir, seed=2026,
                         include_extensions=True, jobs=jobs),
         repeat=1)
+    # The pool persisted across the cold run; every worker is now warm.
+    warm_after = _best_seconds(
+        lambda: run_all(output_dir=warm_dir, seed=2026,
+                        include_extensions=True, jobs=jobs),
+        repeat=1)
+    shutdown_pool()
 
     serial_csvs = {p.name: p.read_bytes()
                    for p in sorted(serial_dir.glob("*.csv"))}
     parallel_csvs = {p.name: p.read_bytes()
                      for p in sorted(parallel_dir.glob("*.csv"))}
-    assert serial_csvs and serial_csvs == parallel_csvs
+    warm_csvs = {p.name: p.read_bytes()
+                 for p in sorted(warm_dir.glob("*.csv"))}
+    assert serial_csvs and serial_csvs == parallel_csvs == warm_csvs
 
     cpus = os.cpu_count() or 1
     entries.append(_entry("run_all_jobs4", before, after,
+                          jobs=jobs, cpus=cpus,
+                          artifacts_identical=True))
+    entries.append(_entry("run_all_warm_jobs4", before, warm_after,
                           jobs=jobs, cpus=cpus,
                           artifacts_identical=True))
     if not QUICK and cpus >= 2:
         assert before / after >= MIN_RUN_ALL_SPEEDUP, (
             f"run_all(jobs={jobs}) only {before / after:.2f}x "
             f"on {cpus} CPUs")
+        assert before / warm_after >= MIN_RUN_ALL_WARM_SPEEDUP, (
+            f"warm run_all(jobs={jobs}) only "
+            f"{before / warm_after:.2f}x on {cpus} CPUs")
     shutil.rmtree(serial_dir, ignore_errors=True)
     shutil.rmtree(parallel_dir, ignore_errors=True)
+    shutil.rmtree(warm_dir, ignore_errors=True)
 
 
 def test_bench_perf_kernels(tmp_path):
@@ -228,6 +284,7 @@ def test_bench_perf_kernels(tmp_path):
     _bench_thermal(entries)
     _bench_frontier(entries)
     _bench_ber_sweep(entries)
+    _bench_mc_grid(entries)
     _bench_run_all(entries, tmp_path)
 
     for entry in entries:

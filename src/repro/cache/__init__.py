@@ -39,6 +39,8 @@ from repro.cache.keys import (
 )
 from repro.cache.runner import (
     CACHE_DIR_NAME,
+    DriverProbe,
+    probe_driver,
     result_from_payload,
     result_payload,
     run_and_save_cached,
@@ -58,6 +60,7 @@ from repro.cache.store import STORE_SCHEMA_VERSION, CacheStore
 __all__ = [
     "CACHE_DIR_NAME",
     "CacheStore",
+    "DriverProbe",
     "KEY_SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
     "active_store",
@@ -73,6 +76,7 @@ __all__ = [
     "import_closure",
     "module_imports",
     "module_source_path",
+    "probe_driver",
     "restore_generator",
     "result_from_payload",
     "result_payload",

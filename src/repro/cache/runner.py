@@ -15,6 +15,7 @@ those exact bytes instead of re-rendering rows through the CSV writer.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from types import ModuleType
 from typing import Any
@@ -27,7 +28,8 @@ from repro.obs.events import driver_scope, emit as emit_event
 from repro.obs.metrics import inc
 from repro.obs.trace import span
 
-__all__ = ["CACHE_DIR_NAME", "result_from_payload", "result_payload",
+__all__ = ["CACHE_DIR_NAME", "DriverProbe", "probe_driver",
+           "result_from_payload", "result_payload",
            "run_and_save_cached", "store_for"]
 
 #: Cache directory name, created inside the run's output directory.
@@ -71,10 +73,57 @@ def result_from_payload(payload: dict[str, Any]) -> Any:
     )
 
 
+@dataclass(frozen=True)
+class DriverProbe:
+    """Outcome of a silent cache probe for one driver.
+
+    ``hit`` is a fast-path prediction (the entry file exists); the
+    instrumented replay still validates the entry, so a corrupt file
+    degrades to a normal miss.  The parallel engine uses probes to
+    short-circuit hits *before a task is ever enqueued*, and threads
+    the precomputed key back into :func:`run_and_save_cached` so the
+    fingerprint is not recomputed.
+    """
+
+    name: str
+    key: str
+    fingerprint: str
+    hit: bool
+
+
+def probe_driver(module: ModuleType,
+                 seed: int | None = None,
+                 store: CacheStore | None = None,
+                 output_dir: Path | str | None = None) -> DriverProbe:
+    """Silently check whether a driver's run is already cached.
+
+    Emits no spans, metrics, or events — safe to call from engine
+    scope without perturbing the deterministic event timeline.  One of
+    ``store`` or ``output_dir`` is required.
+    """
+    from repro.experiments import experiment_name
+    from repro.obs.manifest import current_seed
+    from repro.perf.seeds import derive_driver_seed
+
+    if store is None:
+        if output_dir is None:
+            raise ValueError("probe_driver needs a store or output_dir")
+        store = store_for(output_dir)
+    name = experiment_name(module)
+    base_seed = seed if seed is not None else current_seed()
+    derived_seed = derive_driver_seed(base_seed, name)
+    source_fingerprint = fingerprint(module.__name__)
+    key = driver_key(name, source_fingerprint, base_seed, derived_seed)
+    return DriverProbe(name=name, key=key,
+                       fingerprint=source_fingerprint,
+                       hit=store.entry_path(key).is_file())
+
+
 def run_and_save_cached(module: ModuleType,
                         output_dir: Path | str,
                         seed: int | None = None,
-                        store: CacheStore | None = None) -> Any:
+                        store: CacheStore | None = None,
+                        probe: DriverProbe | None = None) -> Any:
     """Run one driver through the cache and save its CSV + manifest.
 
     On a hit the stored result is replayed and its CSV written
@@ -88,6 +137,9 @@ def run_and_save_cached(module: ModuleType,
         seed: base run seed (same meaning as
             :func:`repro.experiments.run_module`).
         store: cache store; defaults to ``<output_dir>/.cache``.
+        probe: an earlier :func:`probe_driver` outcome for the same
+            (module, seed); reuses its key/fingerprint instead of
+            recomputing the import-closure fingerprint.
 
     Returns:
         The :class:`ExperimentResult`, with ``cache_info`` populated.
@@ -98,11 +150,17 @@ def run_and_save_cached(module: ModuleType,
 
     if store is None:
         store = store_for(output_dir)
-    name = experiment_name(module)
-    base_seed = seed if seed is not None else current_seed()
-    derived_seed = derive_driver_seed(base_seed, name)
-    source_fingerprint = fingerprint(module.__name__)
-    key = driver_key(name, source_fingerprint, base_seed, derived_seed)
+    if probe is not None:
+        name = probe.name
+        source_fingerprint = probe.fingerprint
+        key = probe.key
+    else:
+        name = experiment_name(module)
+        base_seed = seed if seed is not None else current_seed()
+        derived_seed = derive_driver_seed(base_seed, name)
+        source_fingerprint = fingerprint(module.__name__)
+        key = driver_key(name, source_fingerprint, base_seed,
+                         derived_seed)
 
     with driver_scope(name):
         entry = store.get(key)

@@ -800,7 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "scope)")
     obs_query.add_argument("--kind", default=None,
                            choices=("span_start", "span_end", "metric",
-                                    "fault", "cache"))
+                                    "fault", "cache", "transport"))
     obs_query.add_argument("--name", default=None,
                            help="name substring")
     obs_query.add_argument("--limit", type=int, default=None)

@@ -154,13 +154,80 @@ def measure_ber_sweep(scheme: Modulation,
             take = min(chunk_bits, n_bits - done)
             bits = rng.integers(0, 2, size=take).astype(np.int8)
             symbols = scheme.modulate(bits)
-            unit_noise = (rng.standard_normal(symbols.shape)
-                          + 1j * rng.standard_normal(symbols.shape))
+            # Component-wise complex assembly: the same two normal
+            # draws, in the same order, as ``re + 1j * im`` — but
+            # written straight into place instead of through a complex
+            # multiply and add (the noise array is the chunk's single
+            # biggest temporary).
+            unit_noise = np.empty(symbols.shape, dtype=np.complex128)
+            unit_noise.real = rng.standard_normal(symbols.shape)
+            unit_noise.imag = rng.standard_normal(symbols.shape)
+            noisy = np.empty(symbols.shape, dtype=np.complex128)
             for point, sigma in enumerate(sigmas.tolist()):
-                decoded = scheme.demodulate(symbols + sigma * unit_noise)
+                # sigma*noise + symbols into the reused scratch buffer:
+                # bit-identical to ``symbols + sigma * unit_noise``
+                # without two fresh chunk-sized temporaries per point.
+                np.multiply(unit_noise, sigma, out=noisy)
+                noisy += symbols
+                decoded = scheme.demodulate(noisy)
                 errors[point] += int(np.count_nonzero(decoded != bits))
             done += take
     inc("link.mc_symbols_simulated", (n_bits // bits_per_symbol) * grid.size)
     inc("link.mc_bits_simulated", n_bits * grid.size)
     inc("link.mc_bit_errors", int(errors.sum()))
     return errors / n_bits
+
+
+def measure_ber_grid(schemes,
+                     ebn0_db: np.ndarray,
+                     n_bits: int,
+                     seed: int | None = None,
+                     chunk_bits: int = 1 << 20) -> np.ndarray:
+    """Empirical BER over a whole (scheme x Eb/N0) design grid.
+
+    The whole-grid entry point of the link-budget drivers: one call
+    evaluates every modulation scheme over every operating point, each
+    scheme in a single batched :func:`measure_ber_sweep` pass.  Every
+    scheme draws from its own independent substream derived from the
+    base seed and the scheme name
+    (:func:`repro.perf.seeds.derive_stream_seed`), so results are
+    schedule-independent: evaluating schemes in any order — or one at a
+    time — yields bit-identical numbers.
+
+    Args:
+        schemes: iterable of :class:`~repro.link.modulation.Modulation`
+            instances (each contributes one output row).
+        ebn0_db: Eb/N0 grid in dB (any array-like; flattened).
+        n_bits: bits pushed through per grid point per scheme.
+        seed: base seed for the per-scheme substreams; defaults to the
+            process run seed (:func:`repro.obs.manifest.current_seed`,
+            i.e. the CLI's ``--seed``).
+        chunk_bits: per-sweep memory bound, as in
+            :func:`measure_ber_sweep`.
+
+    Returns:
+        Array of shape ``(len(schemes), grid size)`` of observed
+        bit-error fractions.
+
+    Raises:
+        ValueError: if no schemes are given (grid/bit validation happens
+            per sweep).
+    """
+    from repro.obs.manifest import current_seed
+    from repro.perf.seeds import derive_stream_seed
+
+    schemes = list(schemes)
+    if not schemes:
+        raise ValueError("need at least one modulation scheme")
+    grid = np.asarray(ebn0_db, dtype=np.float64).ravel()
+    base_seed = seed if seed is not None else current_seed()
+    measured = np.empty((len(schemes), grid.size), dtype=np.float64)
+    with span("link.measure_ber_grid", schemes=len(schemes),
+              points=grid.size, n_bits=n_bits):
+        for index, scheme in enumerate(schemes):
+            rng = seeded_rng(derive_stream_seed(base_seed, "mc",
+                                                scheme.name))
+            measured[index] = measure_ber_sweep(scheme, grid, n_bits,
+                                                rng=rng,
+                                                chunk_bits=chunk_bits)
+    return measured

@@ -119,6 +119,11 @@ class MQAM(Modulation):
         return self._scale * (i_amp + 1j * q_amp)
 
     def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        # Accept any shape (the batched sweep demodulates a whole
+        # points x symbols block at once); bits come back flattened in
+        # row-major symbol order, exactly as per-row demodulation would
+        # concatenate them.
+        symbols = np.asarray(symbols).ravel()
         side = self._side
         half = self.bits_per_symbol // 2
         i_levels = _slice_level(np.real(symbols) / self._scale, side)

@@ -3,8 +3,9 @@
 The event log unifies what the other ``repro.obs`` substrates record —
 span open/close (:mod:`repro.obs.trace`), metric updates
 (:mod:`repro.obs.metrics`), fault injections and recoveries
-(:mod:`repro.fault.injector`), and cache hits/misses
-(:mod:`repro.cache`) — into a single ordered timeline that serializes
+(:mod:`repro.fault.injector`), cache hits/misses (:mod:`repro.cache`),
+and parallel result-transport records (:mod:`repro.perf.parallel`,
+kind ``transport``) — into a single ordered timeline that serializes
 as JSONL (``events.jsonl`` next to the run's CSVs).
 
 Determinism is the design constraint: events are ordered by a monotonic
@@ -53,7 +54,8 @@ __all__ = ["Event", "EventLog", "EVENTS", "emit", "enable", "disable",
 ENGINE_SCOPE = ""
 
 #: Event kinds the timeline records.
-KINDS = ("span_start", "span_end", "metric", "fault", "cache")
+KINDS = ("span_start", "span_end", "metric", "fault", "cache",
+         "transport")
 
 
 @dataclass(frozen=True)
@@ -64,7 +66,7 @@ class Event:
         seq: monotonic position in the run's timeline (0-based, gapless).
         driver: experiment id the event belongs to ("" = engine scope).
         kind: event category ("span_start", "span_end", "metric",
-            "fault", "cache").
+            "fault", "cache", "transport").
         name: what it concerns (span name, metric name, fault
             ``domain.kind``, cache operation).
         attrs: JSON-able, *deterministic* specifics — values derived

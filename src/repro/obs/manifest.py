@@ -44,15 +44,18 @@ def current_seed() -> int | None:
     return _run_seed
 
 
-def seeded_rng() -> "Any":
-    """A NumPy generator honoring the run seed.
+def seeded_rng(seed: int | None = None) -> "Any":
+    """A NumPy generator honoring the run seed (or an explicit one).
 
-    Returns ``np.random.default_rng(current_seed())`` — reproducible when
-    a seed was set via ``--seed``/:func:`set_run_seed`, fresh entropy
-    otherwise.
+    Returns ``np.random.default_rng(seed)`` when ``seed`` is given — the
+    sanctioned constructor for derived substreams
+    (:func:`repro.perf.seeds.derive_stream_seed`) — and
+    ``np.random.default_rng(current_seed())`` otherwise: reproducible
+    when a seed was set via ``--seed``/:func:`set_run_seed`, fresh
+    entropy if not.
     """
     import numpy as np
-    return np.random.default_rng(_run_seed)
+    return np.random.default_rng(seed if seed is not None else _run_seed)
 
 
 @functools.lru_cache(maxsize=1)

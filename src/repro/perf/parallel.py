@@ -1,23 +1,33 @@
-"""Process-pool parallel experiment engine.
+"""Warm-pool parallel experiment engine with zero-copy result transport.
 
-:func:`run_parallel` fans experiment drivers out to a
-``ProcessPoolExecutor`` (fork start method where available, so workers
-inherit the imported interpreter state instead of re-importing it).  Each
-worker:
+:func:`run_parallel` fans experiment drivers out to the persistent
+warm-worker pool (:mod:`repro.perf.pool`): workers import the driver
+closure once and then serve many invocations, so repeated parallel runs
+in one process pay pool startup exactly once.  Each worker:
 
-* runs exactly one driver through the same
+* runs exactly one driver per task through the same
   :func:`repro.experiments.run_module` path the serial engine uses, so
   the per-driver seed derivation (:mod:`repro.perf.seeds`) — and hence
   every random draw — matches the serial run exactly;
 * writes that driver's CSV + manifest itself (artifact filenames are
   per-driver, so concurrent writers never collide);
-* exports its recorded span forest and metrics state back to the parent,
-  which adopts the spans into the process-wide tracer
-  (:meth:`~repro.obs.trace.Tracer.adopt`) and folds the metrics into the
-  global registry (:meth:`~repro.obs.metrics.MetricsRegistry.merge_state`).
+* ships its result and telemetry back through shared memory
+  (:mod:`repro.perf.shm`): numeric result columns and the
+  span/metrics/event export blocks land in a ``/dev/shm`` segment the
+  parent adopts without a pickle round-trip, unlinking it
+  deterministically (small payloads with no telemetry fall back to
+  pipe pickling — the recorded ``perf.transport.mode``).
 
-The contract tested in ``tests/perf/test_parallel.py``: for a fixed seed,
-``run_all(jobs=4)`` produces CSVs byte-identical to the serial run.
+The parent adopts each worker's spans, metrics, and events into the
+process-wide observability state *in driver submission order*, which is
+what keeps ``events.jsonl`` byte-identical run-to-run under ``--jobs N``
+(tests/perf/test_parallel.py).
+
+With ``cache=True`` the parent probes the content-addressed store
+*before* submitting anything (:func:`repro.cache.probe_driver`): a hit
+driver is never enqueued — its stored result replays in the parent,
+inline and in driver order, emitting the same cache events a serial
+cached run would.
 
 Experiment modules are addressed by name across the process boundary
 (module objects don't pickle); the worker resolves the name back to the
@@ -29,8 +39,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -39,6 +47,8 @@ from repro.obs import manifest as _manifest
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.trace import span, span_from_dict
+from repro.perf import shm as _shm
+from repro.perf.pool import PoolTaskError, get_pool
 
 __all__ = ["run_parallel", "resolve_jobs"]
 
@@ -59,77 +69,6 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
-
-
-def _run_one(name: str, seed: int | None, output_dir: str,
-             trace_on: bool, metrics_on: bool,
-             cache: bool = False,
-             plan_record: dict[str, Any] | None = None,
-             attempt: int = 0,
-             events_on: bool = False) -> dict[str, Any]:
-    """Worker-side entry: run one driver, save its CSV, export obs state.
-
-    Runs in the worker process.  Workers are reused across tasks (and,
-    under fork, inherit the parent's obs state), so each task starts by
-    resetting the tracer and registry to get a clean per-driver window.
-
-    With ``cache`` on, the driver goes through
-    :func:`repro.cache.run_and_save_cached` against the store under
-    ``output_dir`` — safe to share across workers (atomic writes +
-    file locking in :class:`repro.cache.CacheStore`).
-
-    With a fault plan, the plan's worker faults for ``(name, attempt)``
-    are applied before the driver runs: crashes raise
-    :class:`repro.fault.plan.InjectedWorkerFault` back to the parent
-    (which retries), slow/hang faults sleep first.  Fault decisions are
-    plan-driven, not random, so the parent can account them without a
-    side channel.
-    """
-    import importlib
-
-    from repro.experiments import run_module
-
-    _trace.TRACER.reset()
-    _metrics.REGISTRY.reset()
-    _events.EVENTS.reset()
-    if trace_on:
-        _trace.enable()
-    else:
-        _trace.disable()
-    if metrics_on:
-        _metrics.enable()
-    else:
-        _metrics.disable()
-    if events_on:
-        _events.enable()
-    else:
-        _events.disable()
-
-    if plan_record is not None:
-        from repro.fault.plan import FaultPlan, InjectedWorkerFault
-        plan = FaultPlan.from_dict(plan_record)
-        kind, seconds = plan.worker.fault_for(name, attempt)
-        if kind == "crash":
-            raise InjectedWorkerFault(name, attempt)
-        if kind in ("slow", "hang") and seconds > 0:
-            time.sleep(seconds)
-
-    module = importlib.import_module(f"repro.experiments.{name}")
-    if cache:
-        from repro.cache import run_and_save_cached
-        result = run_and_save_cached(module, output_dir, seed=seed)
-    else:
-        result = run_module(module, seed=seed)
-        result.save_csv(output_dir)
-    return {
-        "name": name,
-        "pid": os.getpid(),
-        "result": result,
-        "spans": _trace.TRACER.to_dicts() if trace_on else [],
-        "metrics": (_metrics.REGISTRY.export_state()
-                    if metrics_on else None),
-        "events": _events.EVENTS.to_dicts() if events_on else [],
-    }
 
 
 def _merge_payload(payload: dict[str, Any]) -> None:
@@ -153,6 +92,30 @@ def _merge_payload(payload: dict[str, Any]) -> None:
         _events.EVENTS.adopt(payload["events"])
 
 
+def _record_transport(name: str, stats: dict[str, Any]) -> None:
+    """Account one payload's transport cost (satellite: auditable wins).
+
+    The *event* carries only sizes that are a pure function of the run
+    seed (packed column bytes + the pickled result remainder) so the
+    parallel timeline stays byte-identical across repeats; the actual
+    moved total — which includes telemetry blocks whose pickled size
+    varies with PIDs and RSS readings — goes to the metrics registry
+    directly, bypassing the event-emitting module helpers.
+    """
+    _events.emit("transport", name, mode=stats["mode"],
+                 bytes=stats["result_bytes"],
+                 column_bytes=stats["column_bytes"],
+                 packed_columns=stats["packed_columns"],
+                 rows=stats["rows"])
+    if _metrics.metrics_enabled():
+        registry = _metrics.REGISTRY
+        registry.inc("perf.transport.bytes", stats["total_bytes"])
+        registry.inc(f"perf.transport.mode.{stats['mode']}")
+        registry.inc("perf.transport.payloads")
+        registry.set_gauge(f"perf.transport.bytes.{name}",
+                           stats["total_bytes"])
+
+
 def run_parallel(modules: Sequence[Any],
                  output_dir: Path | str,
                  jobs: int | None = None,
@@ -162,8 +125,9 @@ def run_parallel(modules: Sequence[Any],
                  backoff_s: float = 0.25,
                  timeout_s: float | None = None,
                  fault_plan: Any = None,
-                 injector: Any = None) -> list[Any]:
-    """Run experiment drivers across a process pool.
+                 injector: Any = None,
+                 shm_min_bytes: int | None = None) -> list[Any]:
+    """Run experiment drivers across the persistent warm-worker pool.
 
     Args:
         modules: driver modules (each with ``run``/``render``), as in
@@ -174,8 +138,9 @@ def run_parallel(modules: Sequence[Any],
         seed: base run seed; each driver derives its own from it
             (:func:`repro.perf.seeds.derive_driver_seed`), identically to
             the serial path.
-        cache: route each worker's driver through the shared
-            content-addressed cache under ``output_dir`` (see
+        cache: probe the content-addressed cache under ``output_dir``
+            parent-side and short-circuit hits before enqueueing;
+            misses run in workers with the store active (see
             :mod:`repro.cache`).
         max_retries: extra attempts per driver after a worker crash or
             timeout; always bounded.
@@ -183,14 +148,18 @@ def run_parallel(modules: Sequence[Any],
             retry (``backoff_s * 2**(attempt-1)``); 0 retries
             immediately.
         timeout_s: per-driver wall-clock bound on each attempt; a
-            too-slow worker counts as a failed attempt (the abandoned
-            worker still drains — injected hangs must be finite).
+            too-slow worker is killed and respawned, its segment
+            reclaimed, and the attempt counts as failed.
         fault_plan: optional :class:`repro.fault.plan.FaultPlan` whose
             worker faults the pool applies (crash/slow/hang per
-            driver+attempt).
+            driver+attempt); an injected crash kills the warm worker
+            for real and the pool respawns it.
         injector: optional :class:`repro.fault.injector.FaultInjector`
             that accounts worker faults parent-side (created on the
             fly when a plan is given without one).
+        shm_min_bytes: packed-column threshold for shared-memory vs
+            pickle transport (default :data:`repro.perf.shm.SHM_MIN_BYTES`;
+            tests pass 0 to force the shm path).
 
     Returns:
         The :class:`~repro.experiments.base.ExperimentResult` objects in
@@ -214,55 +183,100 @@ def run_parallel(modules: Sequence[Any],
     if injector is None and fault_plan is not None:
         from repro.fault.injector import FaultInjector
         injector = FaultInjector(fault_plan)
+    if shm_min_bytes is None:
+        shm_min_bytes = _shm.SHM_MIN_BYTES
 
-    def submit(pool: ProcessPoolExecutor, name: str, attempt: int):
-        if injector is not None and plan_record is not None:
+    # Cache short-circuit: probe silently, before anything is enqueued.
+    probes: dict[str, Any] = {}
+    store = None
+    if cache:
+        from repro.cache import probe_driver, store_for
+        store = store_for(output_dir)
+        for name, module in zip(names, modules):
+            probe = probe_driver(module, seed=seed, store=store)
+            if probe.hit:
+                probes[name] = probe
+
+    def make_spec(name: str, attempt: int) -> dict[str, Any]:
+        return {"name": name, "seed": seed,
+                "output_dir": str(output_dir),
+                "trace_on": trace_on, "metrics_on": metrics_on,
+                "events_on": events_on, "cache": cache,
+                "plan": plan_record, "attempt": attempt,
+                "shm_min_bytes": shm_min_bytes}
+
+    def record_fault(name: str, attempt: int) -> None:
+        if injector is not None and fault_plan is not None:
             kind, seconds = fault_plan.worker.fault_for(name, attempt)
             if kind is not None:
                 injector.record_worker_fault(name, attempt, kind,
                                              seconds=seconds)
-        return pool.submit(_run_one, name, seed, str(output_dir),
-                           trace_on, metrics_on, cache, plan_record,
-                           attempt, events_on)
 
-    payloads: list[dict[str, Any]] = []
-    failures: list[tuple[int, str, int, str]] = []
-    with span("experiments.run_parallel", jobs=jobs, n_experiments=len(names)):
-        with ProcessPoolExecutor(max_workers=jobs,
-                                 mp_context=_pool_context()) as pool:
-            futures = [submit(pool, name, 0) for name in names]
-            for index, name in enumerate(names):
-                future = futures[index]
-                payload = None
-                error_text = ""
-                attempts_used = 0
-                # Bounded retry: at most max_retries resubmissions.
-                for attempt in range(max_retries + 1):
-                    attempts_used = attempt + 1
-                    if attempt > 0:
-                        if backoff_s > 0:
-                            time.sleep(backoff_s * 2.0 ** (attempt - 1))
-                        _metrics.inc("experiments.retries")
-                        future = submit(pool, name, attempt)
-                    try:
-                        payload = future.result(timeout=timeout_s)
-                        break
-                    except (Exception, FutureTimeoutError) as error:
-                        _metrics.inc("experiments.worker_failures")
-                        error_text = _describe(error)
-                if payload is None:
-                    failures.append((index, name, attempts_used,
-                                     error_text))
-                elif attempts_used > 1:
+    pool = get_pool(jobs)
+    # Per driver, one of: ("payload", payload, stats),
+    # ("hit", probe), ("failure", attempts, error).
+    outcomes: list[tuple[str, Any, Any]] = []
+    with span("experiments.run_parallel", jobs=jobs,
+              n_experiments=len(names)):
+        task_ids: dict[str, int] = {}
+        for name in names:
+            if name in probes:
+                continue
+            record_fault(name, 0)
+            task_ids[name] = pool.submit(make_spec(name, 0))
+        for name in names:
+            if name in probes:
+                outcomes.append(("hit", probes[name], None))
+                continue
+            task_id = task_ids[name]
+            payload = stats = None
+            error_text = ""
+            attempts_used = 0
+            # Bounded retry: at most max_retries resubmissions.
+            for attempt in range(max_retries + 1):
+                attempts_used = attempt + 1
+                if attempt > 0:
+                    if backoff_s > 0:
+                        time.sleep(backoff_s * 2.0 ** (attempt - 1))
+                    _metrics.inc("experiments.retries")
+                    record_fault(name, attempt)
+                    task_id = pool.submit(make_spec(name, attempt))
+                try:
+                    header = pool.wait(task_id, timeout_s=timeout_s)
+                except PoolTaskError as error:
+                    _metrics.inc("experiments.worker_failures")
+                    error_text = str(error)
+                    continue
+                payload = _shm.unpack_payload(header)
+                stats = header["stats"]
+                pool.release(task_id)
+                break
+            if payload is None:
+                outcomes.append(("failure", attempts_used, error_text))
+            else:
+                if attempts_used > 1:
                     payload["attempts"] = attempts_used
-                payloads.append(payload)
+                outcomes.append(("payload", payload, stats))
 
     results: list[Any] = []
-    for index, name in enumerate(names):
-        payload = payloads[index]
-        if payload is None:
+    failures: list[tuple[int, str, int, str]] = []
+    for index, (name, outcome) in enumerate(zip(names, outcomes)):
+        kind, first, second = outcome
+        if kind == "failure":
+            failures.append((index, name, first, second))
             continue
+        if kind == "hit":
+            # Replay in driver order so cache events interleave exactly
+            # as a serial cached run's would.
+            from repro.cache import run_and_save_cached
+            result = run_and_save_cached(modules[index], output_dir,
+                                         seed=seed, store=store,
+                                         probe=first)
+            results.append(result)
+            continue
+        payload, stats = first, second
         _merge_payload(payload)
+        _record_transport(name, stats)
         result = payload["result"]
         attempts = payload.get("attempts")
         if attempts is not None:
@@ -284,11 +298,3 @@ def run_parallel(modules: Sequence[Any],
         _metrics.inc("experiments.recorded_failures")
     _metrics.inc("experiments.parallel_runs", len(names))
     return results
-
-
-def _describe(error: BaseException) -> str:
-    """Compact one-line description of a worker failure."""
-    if isinstance(error, FutureTimeoutError) or isinstance(error,
-                                                           TimeoutError):
-        return "timeout"
-    return f"{type(error).__name__}: {error}"

@@ -1,4 +1,4 @@
-"""Deterministic per-driver seed derivation.
+"""Deterministic per-driver and per-stream seed derivation.
 
 One base seed (the CLI's ``--seed``) must reproduce the full evaluation
 whether the drivers run serially or fanned out across worker processes.
@@ -9,6 +9,13 @@ would start fresh.  Instead every driver gets its own seed, derived from
 by construction, so serial and parallel runs draw identical streams and
 produce byte-identical CSVs.
 
+:func:`derive_stream_seed` generalizes the same construction to any
+labelled substream — the whole-grid Monte-Carlo batcher
+(:func:`repro.link.channel.measure_ber_grid`) derives one independent
+stream per modulation scheme from ``(base_seed, "mc", scheme name)``,
+so evaluating the grid in one pass draws exactly what per-scheme sweeps
+would.
+
 Kept free of package-internal imports so :mod:`repro.experiments` can use
 it without creating an import cycle with :mod:`repro.perf.parallel`.
 """
@@ -17,7 +24,30 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["derive_driver_seed"]
+__all__ = ["derive_driver_seed", "derive_stream_seed"]
+
+
+def derive_stream_seed(base_seed: int | None, *labels: str) -> int | None:
+    """Stable 63-bit seed for one labelled substream of a base seed.
+
+    Args:
+        base_seed: the run-level seed; ``None`` (unseeded run) passes
+            through unchanged.
+        labels: the substream's path (e.g. ``("mc", "16-QAM")``),
+            joined with ``:`` into the hash input — the same scheme
+            that has always derived per-driver seeds, so
+            ``derive_stream_seed(s, name) == derive_driver_seed(s,
+            name)`` and existing goldens hold.
+
+    Returns:
+        A seed unique to ``(base_seed, *labels)``, or ``None`` when the
+        run is unseeded.
+    """
+    if base_seed is None:
+        return None
+    joined = ":".join((str(base_seed), *labels))
+    digest = hashlib.sha256(joined.encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 def derive_driver_seed(base_seed: int | None, name: str) -> int | None:
@@ -32,7 +62,4 @@ def derive_driver_seed(base_seed: int | None, name: str) -> int | None:
         A stable 63-bit seed unique to ``(base_seed, name)``, or ``None``
         when the run is unseeded.
     """
-    if base_seed is None:
-        return None
-    digest = hashlib.sha256(f"{base_seed}:{name}".encode()).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
+    return derive_stream_seed(base_seed, name)

@@ -1,0 +1,312 @@
+"""Zero-copy shared-memory transport for parallel worker payloads.
+
+The warm-worker engine (:mod:`repro.perf.pool`) moves each finished
+driver's payload — the numeric ``ExperimentResult`` columns plus the
+span/metrics/event telemetry blocks — back to the parent through a
+``multiprocessing.shared_memory`` segment instead of pickling the whole
+payload through a pipe.  Only a small header (dtype/shape/column names
+and block offsets) crosses the pipe; the parent maps the segment and
+reads the column arrays in place (``np.frombuffer`` over the mapped
+buffer, no intermediate copy) before unlinking it.
+
+Lifecycle protocol (no resource-tracker leaks, verified by
+``tests/fault/test_shm_lifecycle.py``):
+
+* the *parent* chooses every segment name up front (one per task), so it
+  can reclaim the segment of a worker that died mid-write without a side
+  channel (:func:`reclaim_segment`);
+* the *worker* creates the segment, writes, closes its mapping, and
+  immediately unregisters it from its resource tracker — the worker
+  never owns cleanup;
+* the *parent* attaches (which re-registers), decodes, then closes and
+  unlinks deterministically inside :func:`unpack_payload` — under the
+  fork start method both processes share one tracker and the
+  register/unregister pairs balance to zero.
+
+Transport mode is chosen *deterministically* from sizes that are a pure
+function of the run seed: the packed column bytes and whether telemetry
+blocks exist at all (a per-run flag).  Telemetry block sizes themselves
+are **not** deterministic (pickled RSS/PID integers vary in width), so
+they never feed the mode decision and never appear in event attributes —
+only in the metrics registry (see :mod:`repro.perf.parallel`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SHM_MIN_BYTES", "pack_payload", "unpack_payload",
+           "reclaim_segment", "segment_name", "split_rows"]
+
+#: Below this many packed column bytes (and with no telemetry riding
+#: along), pickling through the pipe is cheaper than a page-granular
+#: segment plus three syscalls — the engine records mode="pickle".
+SHM_MIN_BYTES = 4096
+
+#: Fixed pickle protocol so header/block sizes are stable across runs.
+_PICKLE_PROTOCOL = 4
+
+#: Numeric column kinds the transport packs as raw arrays.  The order of
+#: checks matters: bool is an int subtype, so it is classified first.
+_KIND_DTYPES = {"bool": np.bool_, "int": np.int64, "float": np.float64}
+
+
+def segment_name(tag: str, task_id: int) -> str:
+    """Deterministic parent-chosen segment name for one task."""
+    return f"repro-{tag}-{task_id}"
+
+
+def _value_kind(value: Any) -> str | None:
+    """Packable kind of one cell, or None for anything else."""
+    if isinstance(value, (bool, np.bool_)):
+        return "bool"
+    if isinstance(value, (int, np.integer)):
+        return "int" if -2 ** 63 <= int(value) < 2 ** 63 else None
+    if isinstance(value, (float, np.floating)):
+        return "float"
+    return None
+
+
+def split_rows(rows: list[dict[str, Any]]):
+    """Split result rows into packable numeric columns and a remainder.
+
+    A column packs only when every cell is uniformly bool, int, or
+    float (mixed int/float stays pickled: packing would silently turn
+    ints into floats on round-trip).  Rows with heterogeneous key sets
+    don't pack at all.
+
+    Returns:
+        ``(columns, rest_rows, row_keys)`` where ``columns`` is a list
+        of ``(name, kind, array)`` triples, ``rest_rows`` holds the
+        unpacked remainder of each row (same order), and ``row_keys``
+        is the shared key order used to reassemble rows exactly.
+    """
+    if not rows:
+        return [], [], []
+    row_keys = list(rows[0].keys())
+    key_set = set(row_keys)
+    if any(set(row.keys()) != key_set for row in rows[1:]):
+        return [], [dict(row) for row in rows], row_keys
+    columns = []
+    packed_names = set()
+    for key in row_keys:
+        values = [row[key] for row in rows]
+        kinds = {_value_kind(value) for value in values}
+        if len(kinds) == 1 and None not in kinds:
+            kind = kinds.pop()
+            array = np.array(values, dtype=_KIND_DTYPES[kind])
+            columns.append((key, kind, array))
+            packed_names.add(key)
+    rest_rows = [{key: row[key] for key in row_keys
+                  if key not in packed_names} for row in rows]
+    return columns, rest_rows, row_keys
+
+
+def _result_fields(result: Any) -> dict[str, Any]:
+    """Everything on an ExperimentResult except its rows."""
+    return {
+        "name": result.name,
+        "title": result.title,
+        "summary": result.summary,
+        "columns": result.columns,
+        "seed": result.seed,
+        "derived_seed": result.derived_seed,
+        "duration_s": result.duration_s,
+        "cache_info": result.cache_info,
+        "fault_info": result.fault_info,
+    }
+
+
+def pack_payload(payload: dict[str, Any],
+                 segment: str | None,
+                 min_bytes: int = SHM_MIN_BYTES) -> dict[str, Any]:
+    """Encode one worker payload for transport (worker side).
+
+    Args:
+        payload: ``{"name", "pid", "result", "spans", "metrics",
+            "events"}`` as assembled by the worker loop.
+        segment: parent-chosen segment name; ``None`` forces pickle
+            transport.
+        min_bytes: packed-column threshold below which (absent
+            telemetry) the payload pickles through the pipe instead.
+
+    Returns:
+        A small picklable header.  ``header["transport"]`` is ``"shm"``
+        or ``"pickle"``; the stats block carries both the deterministic
+        sizes (``result_bytes``, ``column_bytes`` — safe for event
+        attributes) and the actual moved total (``total_bytes`` —
+        metrics registry only).
+    """
+    result = payload["result"]
+    columns, rest_rows, row_keys = split_rows(result.rows)
+    column_bytes = int(sum(array.nbytes for _, _, array in columns))
+    rest = {
+        "result": _result_fields(result),
+        "cached_csv_text": result.cached_csv_text,
+        "rest_rows": rest_rows,
+        "row_keys": row_keys,
+        "row_count": len(result.rows),
+    }
+    rest_bytes = pickle.dumps(rest, protocol=_PICKLE_PROTOCOL)
+    spans_bytes = pickle.dumps(payload["spans"],
+                               protocol=_PICKLE_PROTOCOL)
+    metrics_bytes = pickle.dumps(payload["metrics"],
+                                 protocol=_PICKLE_PROTOCOL)
+    events_bytes = pickle.dumps(payload["events"],
+                                protocol=_PICKLE_PROTOCOL)
+    has_telemetry = (bool(payload["spans"]) or bool(payload["events"])
+                     or payload["metrics"] is not None)
+    telemetry_bytes = (len(spans_bytes) + len(metrics_bytes)
+                       + len(events_bytes))
+    stats = {
+        "rows": len(result.rows),
+        "packed_columns": len(columns),
+        "column_bytes": column_bytes,
+        "result_bytes": column_bytes + len(rest_bytes),
+        "telemetry_bytes": telemetry_bytes,
+    }
+
+    use_shm = segment is not None and (column_bytes >= min_bytes
+                                       or has_telemetry)
+    if not use_shm:
+        stats["mode"] = "pickle"
+        stats["total_bytes"] = stats["result_bytes"] + telemetry_bytes
+        return {"transport": "pickle", "name": payload["name"],
+                "pid": payload["pid"], "payload": payload,
+                "stats": stats}
+
+    layout = []
+    offset = 0
+    for name, kind, array in columns:
+        layout.append(("column", name, kind, offset, len(array)))
+        offset += array.nbytes
+        offset += (-offset) % 8  # 8-byte alignment for the next array
+    blocks = {}
+    for label, blob in (("rest", rest_bytes), ("spans", spans_bytes),
+                        ("metrics", metrics_bytes),
+                        ("events", events_bytes)):
+        blocks[label] = (offset, len(blob))
+        offset += len(blob)
+    total = max(offset, 1)
+
+    shm = shared_memory.SharedMemory(name=segment, create=True,
+                                     size=total)
+    try:
+        buffer = shm.buf
+        for (_, name, kind, start, count), (_, _, array) in zip(
+                layout, columns):
+            view = np.frombuffer(buffer, dtype=_KIND_DTYPES[kind],
+                                 count=count, offset=start)
+            view[:] = array
+            del view
+        for label, blob in (("rest", rest_bytes),
+                            ("spans", spans_bytes),
+                            ("metrics", metrics_bytes),
+                            ("events", events_bytes)):
+            start, length = blocks[label]
+            buffer[start:start + length] = blob
+        del buffer
+    finally:
+        shm.close()
+        _untrack(shm)
+
+    stats["mode"] = "shm"
+    stats["total_bytes"] = total
+    return {"transport": "shm", "name": payload["name"],
+            "pid": payload["pid"], "segment": segment, "size": total,
+            "columns": [entry[1:] for entry in layout],
+            "blocks": blocks, "stats": stats}
+
+
+def unpack_payload(header: dict[str, Any]) -> dict[str, Any]:
+    """Decode a transport header back into a worker payload (parent).
+
+    For shm transport this attaches the segment, adopts the column
+    arrays straight out of the mapped buffer, reassembles the result
+    rows, and closes + unlinks the segment before returning — the
+    deterministic end of the segment's life.
+    """
+    if header["transport"] == "pickle":
+        return header["payload"]
+
+    shm = shared_memory.SharedMemory(name=header["segment"])
+    try:
+        buffer = shm.buf
+        column_values: dict[str, list[Any]] = {}
+        for name, kind, start, count in header["columns"]:
+            view = np.frombuffer(buffer, dtype=_KIND_DTYPES[kind],
+                                 count=count, offset=start)
+            column_values[name] = view.tolist()
+            del view
+        parts = {}
+        for label, (start, length) in header["blocks"].items():
+            parts[label] = pickle.loads(bytes(buffer[start:start
+                                                     + length]))
+        del buffer
+    finally:
+        shm.close()
+        shm.unlink()
+
+    rest = parts["rest"]
+    rows = []
+    rest_rows = rest["rest_rows"]
+    for index in range(rest["row_count"]):
+        leftover = rest_rows[index] if index < len(rest_rows) else {}
+        row = {}
+        for key in rest["row_keys"]:
+            if key in column_values:
+                row[key] = column_values[key][index]
+            else:
+                row[key] = leftover[key]
+        rows.append(row)
+
+    from repro.experiments.base import ExperimentResult
+
+    fields = rest["result"]
+    result = ExperimentResult(
+        name=fields["name"], title=fields["title"], rows=rows,
+        summary=fields["summary"], columns=fields["columns"],
+        seed=fields["seed"], derived_seed=fields["derived_seed"],
+        duration_s=fields["duration_s"],
+        cache_info=fields["cache_info"],
+        fault_info=fields["fault_info"])
+    result.cached_csv_text = rest["cached_csv_text"]
+    return {"name": header["name"], "pid": header["pid"],
+            "result": result, "spans": parts["spans"],
+            "metrics": parts["metrics"], "events": parts["events"]}
+
+
+def reclaim_segment(name: str) -> bool:
+    """Quarantine-reclaim a segment a dead or killed worker may have
+    left behind: attach and unlink if it exists.
+
+    Safe to call unconditionally — returns False when the name was
+    never created or is already gone.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    shm.close()
+    shm.unlink()
+    return True
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop the creating process's resource-tracker registration.
+
+    The worker creates the segment but the *parent* owns unlinking, so
+    the worker's registration must go — otherwise the tracker reports a
+    leak (and under spawn would unlink a live segment) at worker exit.
+    The registered name is the private ``_name`` (leading slash on
+    POSIX), falling back to the public one.
+    """
+    registered = getattr(shm, "_name", None) or shm.name
+    try:
+        resource_tracker.unregister(registered, "shared_memory")
+    except Exception:  # pragma: no cover - tracker absent on Windows
+        pass

@@ -1,0 +1,134 @@
+"""Shared-memory segment lifecycle under faults (ISSUE 7 satellite).
+
+Every segment the zero-copy engine creates must be unlinked by the time
+``run_parallel`` returns — after clean runs, after a worker crashes
+*between writing its segment and replying* (the quarantine path), and
+after a hung worker is killed mid-task.  A leaked segment would both
+eat ``/dev/shm`` and trip Python's resource tracker at interpreter
+exit.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, experiment_name,
+                               is_recorded_failure)
+from repro.fault import FaultPlan, RetryPolicy, WorkerFaults
+from repro.perf import run_parallel
+from repro.perf.pool import _EXIT_AFTER_PACK_ENV, get_pool, shutdown_pool
+
+CHEAP = ALL_EXPERIMENTS[0]
+CHEAP_NAME = experiment_name(CHEAP)
+
+_DEV_SHM = Path("/dev/shm")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    # The pool forks at creation: a pool predating this test's
+    # monkeypatching would not see it, and segments of one test must
+    # not survive into the next.
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _repro_segments() -> set[str]:
+    if not _DEV_SHM.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+    return {path.name for path in _DEV_SHM.glob("repro-*")}
+
+
+class TestCleanRuns:
+    def test_no_segments_after_parallel_run(self, tmp_path):
+        before = _repro_segments()
+        run_parallel(list(ALL_EXPERIMENTS[:4]), output_dir=tmp_path,
+                     jobs=2, seed=3)
+        assert _repro_segments() == before
+
+    def test_no_segments_while_pool_stays_warm(self, tmp_path):
+        """The pool persisting must not mean segments persist."""
+        before = _repro_segments()
+        run_parallel(list(ALL_EXPERIMENTS[:2]), output_dir=tmp_path,
+                     jobs=2, seed=3)
+        assert not get_pool(2).closed
+        assert _repro_segments() == before
+
+    def test_no_resource_tracker_warnings(self, tmp_path):
+        """A full parallel run in a fresh interpreter exits without the
+        tracker's 'leaked shared_memory objects' complaint."""
+        script = (
+            "from repro.experiments import ALL_EXPERIMENTS\n"
+            "from repro.perf import run_parallel\n"
+            f"run_parallel(list(ALL_EXPERIMENTS[:3]), "
+            f"output_dir={str(tmp_path)!r}, jobs=2, seed=3)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, timeout=300, env=env,
+            cwd=Path(__file__).parents[2])
+        assert proc.returncode == 0, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+
+
+class TestCrashMidWrite:
+    def test_crash_between_pack_and_reply_is_quarantined(
+            self, tmp_path, monkeypatch):
+        """Worker dies after creating + writing its segment but before
+        replying: the parent must fail over, reclaim the orphaned
+        segment, and respawn the worker."""
+        before = _repro_segments()
+        monkeypatch.setenv(_EXIT_AFTER_PACK_ENV, CHEAP_NAME)
+        results = run_parallel([CHEAP], output_dir=tmp_path, jobs=1,
+                               seed=5, max_retries=1, backoff_s=0.0)
+        assert len(results) == 1
+        # The env var rides fork inheritance into every respawn, so the
+        # driver fails its whole budget and is recorded as a failure.
+        assert is_recorded_failure(results[0])
+        assert "WorkerDied" in results[0].rows[0]["error"]
+        assert get_pool(1).respawns >= 2
+        assert _repro_segments() == before
+
+    def test_crashed_worker_pool_still_serves(self, tmp_path,
+                                              monkeypatch):
+        before = _repro_segments()
+        monkeypatch.setenv(_EXIT_AFTER_PACK_ENV, CHEAP_NAME)
+        run_parallel([CHEAP], output_dir=tmp_path / "a", jobs=1,
+                     seed=5, max_retries=0, backoff_s=0.0)
+        monkeypatch.delenv(_EXIT_AFTER_PACK_ENV)
+        # Respawned workers re-read the env at fork time; after clearing
+        # it, the same pool must complete the driver normally (the one
+        # worker respawned while the hook was still set dies once more,
+        # then its replacement — forked post-delenv — succeeds).
+        results = run_parallel([CHEAP], output_dir=tmp_path / "b",
+                               jobs=1, seed=5, backoff_s=0.0)
+        assert not is_recorded_failure(results[0])
+        assert _repro_segments() == before
+
+
+class TestTimeoutKills:
+    def test_hang_timeout_reclaims_segment(self, tmp_path):
+        before = _repro_segments()
+        plan = FaultPlan(
+            worker=WorkerFaults(hang_s={CHEAP_NAME: 30.0}),
+            retry=RetryPolicy(max_retries=0, backoff_s=0.0))
+        results = run_parallel([CHEAP], output_dir=tmp_path, jobs=1,
+                               seed=5, max_retries=0, backoff_s=0.0,
+                               timeout_s=0.5, fault_plan=plan)
+        assert is_recorded_failure(results[0])
+        assert results[0].rows[0]["error"] == "timeout"
+        pool = get_pool(1)
+        assert pool.respawns >= 1
+        assert _repro_segments() == before
+        # The respawned worker is immediately usable.
+        follow_up = run_parallel([CHEAP], output_dir=tmp_path / "b",
+                                 jobs=1, seed=5)
+        assert not is_recorded_failure(follow_up[0])

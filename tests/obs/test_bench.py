@@ -108,3 +108,42 @@ class TestRegressionGate:
     def test_report_is_json_able(self):
         report = check_regressions(_record(0.010), [_record(0.010)])
         assert json.loads(json.dumps(report)) == report
+
+
+class TestCpusConfigKeying:
+    """Regression guard (ISSUE 7 satellite): parallel-engine timings
+    scale with the host CPU count, so records taken on hosts with
+    different ``cpus`` must never share a baseline — and legacy records
+    without the ``cpus`` key must drop out of every baseline rather
+    than pollute one."""
+
+    def _cpu_record(self, after_s: float, cpus: int) -> dict:
+        entries = [{"name": "run_all_warm_jobs4", "after_s": after_s,
+                    "speedup": 3.0}]
+        return history_record(entries, quick=False, cpus=cpus,
+                              sha="abc")
+
+    def test_different_cpu_counts_never_share_baselines(self):
+        # Five fast samples on a 16-core host must not flag a slower
+        # (but locally normal) 1-core run.
+        history = [self._cpu_record(0.5, cpus=16) for _ in range(5)]
+        report = check_regressions(self._cpu_record(4.0, cpus=1),
+                                   history)
+        assert report["ok"]
+        assert report["rows"][0]["status"] == "no-baseline"
+
+    def test_same_cpu_count_does_compare(self):
+        history = [self._cpu_record(0.5, cpus=4) for _ in range(5)]
+        report = check_regressions(self._cpu_record(4.0, cpus=4),
+                                   history)
+        assert not report["ok"]
+
+    def test_legacy_records_without_cpus_are_excluded(self):
+        legacy = {"sha": "old",
+                  "config": {"quick": False},  # pre-cpus schema
+                  "kernels": {"run_all_warm_jobs4":
+                              {"after_s": 0.5, "speedup": 3.0}}}
+        report = check_regressions(self._cpu_record(4.0, cpus=4),
+                                   [legacy] * 5)
+        assert report["ok"]
+        assert report["rows"][0]["status"] == "no-baseline"

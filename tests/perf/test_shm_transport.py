@@ -1,0 +1,206 @@
+"""Tests for the shared-memory result transport (repro.perf.shm).
+
+The transport's contracts: payloads round-trip exactly (values *and*
+Python types — an int column must not come back float), the shm/pickle
+mode decision and the event-visible sizes are deterministic functions of
+the payload, and every segment's life ends inside
+:func:`~repro.perf.shm.unpack_payload` — nothing is left for the
+resource tracker to complain about.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.perf.shm import (
+    SHM_MIN_BYTES,
+    pack_payload,
+    reclaim_segment,
+    segment_name,
+    split_rows,
+    unpack_payload,
+)
+
+_COUNTER = iter(range(10_000))
+
+
+def _segment() -> str:
+    """A collision-free segment name for one test."""
+    return segment_name(f"test-{os.getpid():x}", next(_COUNTER))
+
+
+def _result(rows, **kwargs) -> ExperimentResult:
+    defaults = dict(name="fig_test", title="transport test",
+                    summary={"n": len(rows)}, seed=7,
+                    derived_seed=123456, duration_s=0.5)
+    defaults.update(kwargs)
+    return ExperimentResult(rows=rows, **defaults)
+
+
+def _payload(rows, spans=None, metrics=None, events=None, **kwargs):
+    return {"name": "fig_test", "pid": os.getpid(),
+            "result": _result(rows, **kwargs),
+            "spans": spans or [], "metrics": metrics,
+            "events": events or []}
+
+
+class TestSplitRows:
+    def test_uniform_numeric_columns_pack(self):
+        rows = [{"i": 1, "f": 0.5, "b": True, "s": "x"},
+                {"i": 2, "f": 1.5, "b": False, "s": "y"}]
+        columns, rest_rows, row_keys = split_rows(rows)
+        assert sorted(name for name, _, _ in columns) == ["b", "f", "i"]
+        kinds = {name: kind for name, kind, _ in columns}
+        assert kinds == {"i": "int", "f": "float", "b": "bool"}
+        assert rest_rows == [{"s": "x"}, {"s": "y"}]
+        assert row_keys == ["i", "f", "b", "s"]
+
+    def test_mixed_int_float_column_stays_pickled(self):
+        # Packing 1 and 0.5 into one float array would silently turn
+        # the int into a float on round-trip.
+        columns, rest_rows, _ = split_rows([{"v": 1}, {"v": 0.5}])
+        assert columns == []
+        assert rest_rows == [{"v": 1}, {"v": 0.5}]
+
+    def test_none_and_strings_stay_pickled(self):
+        columns, rest_rows, _ = split_rows(
+            [{"v": None, "w": "a"}, {"v": None, "w": "b"}])
+        assert columns == []
+
+    def test_heterogeneous_keys_disable_packing(self):
+        columns, rest_rows, _ = split_rows([{"a": 1}, {"b": 2}])
+        assert columns == []
+        assert rest_rows == [{"a": 1}, {"b": 2}]
+
+    def test_huge_int_stays_pickled(self):
+        columns, _, _ = split_rows([{"v": 2 ** 80}, {"v": 1}])
+        assert columns == []
+
+    def test_empty_rows(self):
+        assert split_rows([]) == ([], [], [])
+
+
+class TestRoundTrip:
+    def test_shm_round_trip_preserves_values_and_types(self):
+        rows = [{"i": index, "f": index * 0.25, "b": index % 2 == 0,
+                 "label": f"row{index}", "maybe": None}
+                for index in range(50)]
+        payload = _payload(rows, cache_info={"hit": False, "key": "k"})
+        header = pack_payload(payload, segment=_segment(), min_bytes=0)
+        assert header["transport"] == "shm"
+        out = unpack_payload(header)
+        result = out["result"]
+        assert result.rows == rows
+        for row in result.rows:
+            assert type(row["i"]) is int
+            assert type(row["f"]) is float
+            assert type(row["b"]) is bool
+        assert result.name == "fig_test"
+        assert result.summary == {"n": 50}
+        assert result.seed == 7
+        assert result.derived_seed == 123456
+        assert result.cache_info == {"hit": False, "key": "k"}
+
+    def test_pickle_mode_for_small_untelemetered_payloads(self):
+        payload = _payload([{"v": 1}])
+        header = pack_payload(payload, segment=_segment(),
+                              min_bytes=SHM_MIN_BYTES)
+        assert header["transport"] == "pickle"
+        assert unpack_payload(header)["result"].rows == [{"v": 1}]
+
+    def test_telemetry_forces_shm(self):
+        # Telemetry blocks always travel by segment so the pipe only
+        # ever carries the small header.
+        payload = _payload([{"v": 1}],
+                           events=[{"seq": 0, "driver": "fig_test",
+                                    "kind": "metric", "name": "m",
+                                    "attrs": {}}])
+        header = pack_payload(payload, segment=_segment(),
+                              min_bytes=SHM_MIN_BYTES)
+        assert header["transport"] == "shm"
+        out = unpack_payload(header)
+        assert out["events"][0]["name"] == "m"
+
+    def test_none_segment_forces_pickle(self):
+        rows = [{"v": float(index)} for index in range(10_000)]
+        header = pack_payload(_payload(rows), segment=None, min_bytes=0)
+        assert header["transport"] == "pickle"
+
+    def test_telemetry_blocks_round_trip(self):
+        spans = [{"name": "experiment.fig_test", "attrs": {}}]
+        metrics = {"counters": {"x": 1.0}}
+        events = [{"seq": 0, "driver": "fig_test", "kind": "cache",
+                   "name": "driver.miss", "attrs": {"key": "abc"}}]
+        payload = _payload([{"v": 1}], spans=spans, metrics=metrics,
+                           events=events)
+        out = unpack_payload(pack_payload(payload, segment=_segment(),
+                                          min_bytes=0))
+        assert out["spans"] == spans
+        assert out["metrics"] == metrics
+        assert out["events"] == events
+
+    def test_cached_csv_text_round_trips(self):
+        payload = _payload([{"v": 1}])
+        payload["result"].cached_csv_text = "v\n1\n"
+        out = unpack_payload(pack_payload(payload, segment=_segment(),
+                                          min_bytes=0))
+        assert out["result"].cached_csv_text == "v\n1\n"
+
+
+class TestDeterminism:
+    def test_event_visible_sizes_are_repeatable(self):
+        rows = [{"i": index, "f": index * 0.5} for index in range(100)]
+        headers = [pack_payload(_payload(rows), segment=_segment(),
+                                min_bytes=0) for _ in range(2)]
+        first, second = (header["stats"] for header in headers)
+        for key in ("mode", "rows", "packed_columns", "column_bytes",
+                    "result_bytes"):
+            assert first[key] == second[key]
+        for header in headers:  # consume (and unlink) both segments
+            unpack_payload(header)
+
+    def test_mode_threshold_uses_column_bytes(self):
+        rows = [{"v": float(index)} for index in range(10)]
+        small = pack_payload(_payload(rows), segment=_segment(),
+                             min_bytes=10 * 8 + 1)
+        assert small["transport"] == "pickle"
+        forced = pack_payload(_payload(rows), segment=_segment(),
+                              min_bytes=10 * 8)
+        assert forced["transport"] == "shm"
+        unpack_payload(forced)
+
+
+class TestLifecycle:
+    def test_segment_gone_after_unpack(self):
+        segment = _segment()
+        rows = [{"v": float(index)} for index in range(100)]
+        header = pack_payload(_payload(rows), segment=segment,
+                              min_bytes=0)
+        unpack_payload(header)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+
+    def test_no_dev_shm_residue(self):
+        dev_shm = Path("/dev/shm")
+        if not dev_shm.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        segment = _segment()
+        rows = [{"v": float(index)} for index in range(100)]
+        header = pack_payload(_payload(rows), segment=segment,
+                              min_bytes=0)
+        assert (dev_shm / segment).exists()
+        unpack_payload(header)
+        assert not (dev_shm / segment).exists()
+
+    def test_reclaim_segment(self):
+        segment = _segment()
+        shm = shared_memory.SharedMemory(name=segment, create=True,
+                                         size=64)
+        shm.close()
+        assert reclaim_segment(segment) is True
+        assert reclaim_segment(segment) is False

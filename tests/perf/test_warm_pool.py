@@ -1,0 +1,134 @@
+"""Warm-worker pool determinism and reuse (repro.perf.pool).
+
+The contracts added with the zero-copy engine: one persistent pool
+serves many ``run_parallel`` calls (warm path), a worker that runs
+several drivers back to back leaks no RNG or observability state
+between them, and warm results are byte-identical to both a cold pool's
+and the serial engine's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments import ALL_EXPERIMENTS, run_module
+from repro.perf import run_parallel
+from repro.perf.pool import WarmPool, get_pool, shutdown_pool
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Each test starts and ends without a persistent pool.
+
+    Workers inherit the parent's state at spawn (fork), so a pool left
+    over from another test would not see this test's monkeypatching —
+    and a pool this test leaves behind would leak that the other way.
+    """
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _csv_bytes(directory):
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("*.csv"))}
+
+
+def _run_serial(modules, directory, seed):
+    """The serial engine's path for a driver subset."""
+    for module in modules:
+        run_module(module, seed=seed).save_csv(directory)
+
+
+class TestPoolReuse:
+    def test_get_pool_reuses_matching_size(self):
+        pool = get_pool(2)
+        assert get_pool(2) is pool
+        assert pool.jobs == 2
+
+    def test_get_pool_resizes(self):
+        pool = get_pool(2)
+        resized = get_pool(3)
+        assert resized is not pool
+        assert pool.closed
+        assert resized.jobs == 3
+
+    def test_shutdown_pool_closes(self):
+        pool = get_pool(2)
+        shutdown_pool()
+        assert pool.closed
+
+    def test_workers_persist_across_runs(self, tmp_path):
+        modules = list(ALL_EXPERIMENTS[:4])
+        run_parallel(modules, output_dir=tmp_path / "a", seed=5, jobs=2)
+        pool = get_pool(2)
+        pids_first = {worker.proc.pid for worker in pool._workers}
+        run_parallel(modules, output_dir=tmp_path / "b", seed=5, jobs=2)
+        assert get_pool(2) is pool
+        pids_second = {worker.proc.pid for worker in pool._workers}
+        assert pids_first == pids_second  # nobody respawned
+        assert pool.tasks_completed == 2 * len(modules)
+        assert sum(worker.served for worker in pool._workers) == \
+            pool.tasks_completed
+
+
+class TestWarmDeterminism:
+    def test_warm_worker_matches_serial_and_cold(self, tmp_path):
+        """A worker that has already served drivers produces the same
+        bytes as a fresh one and as the serial engine — no RNG bleed
+        between tasks on a reused worker."""
+        modules = list(ALL_EXPERIMENTS[:4])
+        serial = tmp_path / "serial"
+        cold = tmp_path / "cold"
+        warm = tmp_path / "warm"
+        _run_serial(modules, serial, seed=11)
+        # Cold: fresh pool, first task each worker ever serves.
+        run_parallel(modules, output_dir=cold, seed=11, jobs=2)
+        # Warm: same pool, every worker has now served >= 1 task; with
+        # 4 drivers on 2 workers each worker serves several in a row.
+        run_parallel(modules, output_dir=warm, seed=11, jobs=2)
+        assert _csv_bytes(serial) == _csv_bytes(cold) == _csv_bytes(warm)
+
+    def test_two_drivers_on_one_worker_byte_identical(self, tmp_path):
+        """Force serialization through a single warm worker: driver B
+        runs on the exact process that just ran driver A."""
+        modules = list(ALL_EXPERIMENTS[:3])
+        serial = tmp_path / "serial"
+        single = tmp_path / "single"
+        _run_serial(modules, serial, seed=23)
+        run_parallel(modules, output_dir=single, seed=23, jobs=2)
+        pool = get_pool(2)
+        assert max(worker.served for worker in pool._workers) >= 2
+        assert _csv_bytes(serial) == _csv_bytes(single)
+
+    def test_warm_events_match_cold_events(self, tmp_path):
+        modules = list(ALL_EXPERIMENTS[:3])
+
+        def timeline(directory):
+            obs.reset_all()
+            obs.enable_all()
+            try:
+                run_parallel(modules, output_dir=directory, seed=7,
+                             jobs=2)
+                path = obs.EVENTS.write_jsonl(directory / "events.jsonl")
+                return path.read_bytes()
+            finally:
+                obs.disable_all()
+                obs.reset_all()
+
+        cold = timeline(tmp_path / "cold")
+        warm = timeline(tmp_path / "warm")
+        assert cold == warm
+
+
+class TestPoolErrors:
+    def test_submit_after_shutdown_rejected(self):
+        pool = get_pool(2)
+        shutdown_pool()
+        with pytest.raises(RuntimeError):
+            pool.submit({"name": "fig5"})
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            WarmPool(0)
