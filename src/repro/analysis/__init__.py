@@ -1,15 +1,21 @@
-"""repro.analysis — AST-based invariant linter for the reproduction.
+"""repro.analysis — whole-program static analyzer for the reproduction.
 
 The MINDFUL results are analytical: every figure is only as right as the
 unit discipline (mW vs W against the 40 mW/cm^2 safety budget) and seed
 discipline (byte-identical parallel runs) of the code computing it.  This
-package moves those conventions from prose into tooling: a pluggable rule
-engine walks the ASTs of ``src/`` and ``tests/`` and reports invariant
-violations with file:line findings.
+package moves those conventions from prose into tooling.  It began as a
+per-file AST linter; the parallel engine's cross-process protocols
+(shared-memory segment lifecycles, lock discipline, pipe-transfer
+safety) made it whole-program: :mod:`repro.analysis.graph` builds a
+cross-module symbol table, an import/call graph, and per-function CFGs
+with a bounded path-sensitive dataflow solver, and rules receive that
+:class:`~repro.analysis.graph.project.Project` context.
 
 Entry point: ``python -m repro analyze`` (see :mod:`repro.cli`), which
-supports text and JSON reporters and a committed baseline file for
-grandfathered violations — new violations fail the run (and CI).
+supports text/JSON/SARIF reporters, a call-graph dump (``--graph
+json|dot``), per-rule selection (``--rule``), and a committed baseline
+file for grandfathered violations — new violations fail the run (and
+CI, which uploads the SARIF to code scanning).
 
 Rules shipped (see ``docs/STATIC_ANALYSIS.md`` for the catalog):
 
@@ -25,6 +31,19 @@ Rules shipped (see ``docs/STATIC_ANALYSIS.md`` for the catalog):
   its CSV schema and constructs a manifest-carrying result.
 * ``export-hygiene`` — ``__all__`` consistent with public definitions;
   no mutable default arguments.
+* ``driver-telemetry`` — registered drivers open spans and export
+  metrics.
+* ``resilience`` — no bare ``except:``; retry loops stay bounded.
+* ``resource-lifecycle`` — path-sensitive acquire/release balance for
+  shm segments, file handles, fcntl locks, and spans.
+* ``pipe-transfer`` — only allowlisted primitive shapes enter worker
+  dispatch payloads (checked interprocedurally from the submit sites).
+* ``worker-shared-state`` — functions reachable from worker entry
+  points never write module-level mutable globals.
+* ``seed-taint`` — interprocedural wall-clock/entropy provenance must
+  not reach ``ExperimentResult`` / ``seed=`` arguments.
+* ``unused-ignore`` — inline suppressions that no longer suppress
+  anything are themselves findings.
 """
 
 from repro.analysis.baseline import (
@@ -35,6 +54,7 @@ from repro.analysis.baseline import (
     load_baseline,
     save_baseline,
     split_by_baseline,
+    stale_entries,
 )
 from repro.analysis.engine import (
     AnalysisError,
@@ -45,10 +65,11 @@ from repro.analysis.engine import (
     collect_files,
     iter_python_files,
     register_rule,
+    resolve_rules,
     rule_by_id,
     run_rules,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 # Importing the rules package registers every built-in rule.
 from repro.analysis import rules as _rules  # noqa: F401
@@ -68,9 +89,12 @@ __all__ = [
     "load_baseline",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
+    "resolve_rules",
     "rule_by_id",
     "run_rules",
     "save_baseline",
     "split_by_baseline",
+    "stale_entries",
 ]

@@ -24,7 +24,7 @@ from repro.analysis.engine import AnalysisError, Finding
 
 __all__ = ["DEFAULT_BASELINE_PATH", "baseline_entry", "fingerprint",
            "fingerprint_findings", "load_baseline", "save_baseline",
-           "split_by_baseline"]
+           "split_by_baseline", "stale_entries"]
 
 #: Baseline file name looked up at the repository root by the CLI.
 DEFAULT_BASELINE_PATH = ".analysis-baseline.json"
@@ -122,3 +122,19 @@ def split_by_baseline(fingerprinted: Sequence[tuple[Finding, str]],
     fresh = [(f, d) for f, d in fingerprinted if d not in known]
     old = [(f, d) for f, d in fingerprinted if d in known]
     return fresh, old
+
+
+def stale_entries(entries: Sequence[dict[str, object]],
+                  fingerprinted: Sequence[tuple[Finding, str]],
+                  ) -> list[dict[str, object]]:
+    """Baseline entries whose violation no longer exists.
+
+    A stale entry matches no current finding's fingerprint — the
+    grandfathered violation was fixed (or its line rewritten, which
+    re-fingerprints it as new).  Stale entries are dead suppressions at
+    the baseline layer; the CLI surfaces them so the file gets pruned
+    instead of silently masking a future regression.
+    """
+    current = {digest for _, digest in fingerprinted}
+    return [entry for entry in entries
+            if str(entry["fingerprint"]) not in current]

@@ -14,11 +14,15 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
-__all__ = ["AnalysisError", "Finding", "ParsedFile", "Rule", "all_rules",
-           "analyze_paths", "collect_files", "iter_python_files",
-           "register_rule", "rule_by_id", "run_rules"]
+if TYPE_CHECKING:  # import cycle guard: graph imports this module
+    from repro.analysis.graph.project import Project
+
+__all__ = ["AnalysisError", "Finding", "ParsedFile", "Rule",
+           "UnusedIgnoreRule", "all_rules", "analyze_paths",
+           "collect_files", "iter_python_files", "register_rule",
+           "resolve_rules", "rule_by_id", "run_rules"]
 
 #: Directories never descended into when collecting files.  ``corpus``
 #: keeps the deliberately-violating lint fixtures out of the default
@@ -27,8 +31,10 @@ _SKIPPED_DIRS = {"__pycache__", ".git", ".hypothesis", "results",
                  ".pytest_cache", "corpus"}
 
 #: Inline suppression: ``# lint: ignore[units]`` or
-#: ``# lint: ignore[units, determinism]`` on the finding's line.
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([a-z\-,\s]+)\]")
+#: ``# lint: ignore[units, determinism]`` on the finding's line.  A
+#: leading backtick marks a doc-prose example (like the ones above),
+#: not a live suppression.
+_SUPPRESS_RE = re.compile(r"(?<!`)#\s*lint:\s*ignore\[([a-z\-,\s]+)\]")
 
 
 class AnalysisError(RuntimeError):
@@ -69,6 +75,10 @@ class ParsedFile:
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
     _suppressed: dict[int, set[str]] = field(default_factory=dict)
+    #: (line, rule) pairs whose suppression actually blocked a finding
+    #: during the current run — the evidence the ``unused-ignore`` pass
+    #: subtracts from ``_suppressed``.
+    _suppression_hits: set[tuple[int, str]] = field(default_factory=set)
 
     @classmethod
     def parse(cls, path: Path, display_path: str) -> "ParsedFile":
@@ -85,9 +95,11 @@ class ParsedFile:
         lines = source.splitlines()
         suppressed: dict[int, set[str]] = {}
         for number, text in enumerate(lines, start=1):
-            match = _SUPPRESS_RE.search(text)
-            if match:
-                rules = {part.strip() for part in match.group(1).split(",")}
+            rules: set[str] = set()
+            for match in _SUPPRESS_RE.finditer(text):
+                rules |= {part.strip()
+                          for part in match.group(1).split(",")}
+            if rules:
                 suppressed[number] = {r for r in rules if r}
         return cls(path=path, display_path=display_path, source=source,
                    tree=tree, lines=lines, _suppressed=suppressed)
@@ -99,8 +111,21 @@ class ParsedFile:
         return ""
 
     def is_suppressed(self, line: int, rule: str) -> bool:
-        """True when the line carries ``# lint: ignore[<rule>]``."""
-        return rule in self._suppressed.get(line, ())
+        """True when the line carries ``# lint: ignore[<rule>]``.
+
+        A positive answer is recorded as a suppression *hit*, which is
+        what exempts the comment from the dead-suppression pass.
+        """
+        if rule in self._suppressed.get(line, ()):
+            self._suppression_hits.add((line, rule))
+            return True
+        return False
+
+    def suppressions(self) -> Iterator[tuple[int, str]]:
+        """Every ``(line, rule)`` suppressed by an inline comment."""
+        for line in sorted(self._suppressed):
+            for rule in sorted(self._suppressed[line]):
+                yield line, rule
 
     def segment(self, node: ast.AST) -> str:
         """Source text of a node ('' when unavailable)."""
@@ -111,14 +136,19 @@ class Rule:
     """Base class for analysis rules.
 
     Subclasses set :attr:`rule_id` / :attr:`description` and override
-    :meth:`check`, yielding findings over the full file set.  Helper
-    :meth:`finding` applies inline suppression automatically.
+    :meth:`check`, yielding findings over the project context — a
+    :class:`~repro.analysis.graph.project.Project` wrapping the parsed
+    file set plus lazily built whole-program structure (symbol table,
+    call graph, CFGs).  Local rules just iterate it like the old file
+    list; cross-file rules reach for ``project.call_graph`` /
+    ``project.cfg_of``.  Helper :meth:`finding` applies inline
+    suppression automatically.
     """
 
     rule_id: str = ""
     description: str = ""
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
+    def check(self, project: "Project") -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, parsed: ParsedFile, node: ast.AST | None,
@@ -214,30 +244,119 @@ def collect_files(paths: Iterable[Path | str],
     return files
 
 
-def run_rules(files: Sequence[ParsedFile],
-              rules: Sequence[Rule] | None = None) -> list[Finding]:
+@register_rule
+class UnusedIgnoreRule(Rule):
+    """Dead inline suppressions: ignores that no longer ignore anything.
+
+    Runs after every other selected rule, so a comment is *unused* only
+    when no selected rule tried to fire on its line this run.  A
+    suppression naming a rule that was not selected is left alone
+    (nothing ran to vouch for it); one naming a rule that does not
+    exist at all is always reported.
+    """
+
+    rule_id = "unused-ignore"
+    description = ("inline '# lint: ignore[...]' comment that "
+                   "suppresses no finding")
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        # Intentionally empty: the engine drives the dead-suppression
+        # pass via check_suppressions once the other rules have run.
+        return iter(())
+
+    def check_suppressions(self, project: Sequence[ParsedFile],
+                           ran: set[str]) -> Iterator[Finding]:
+        for parsed in project:
+            for line, rule_id in parsed.suppressions():
+                if rule_id == self.rule_id:
+                    # A directive to this pass itself, never dead.
+                    continue
+                if rule_id not in _REGISTRY:
+                    finding = self.finding(
+                        parsed, None,
+                        f"suppression names unknown rule "
+                        f"{rule_id!r}", line=line, col=0)
+                    if finding is not None:
+                        yield finding
+                    continue
+                if rule_id not in ran:
+                    continue  # rule did not run; cannot judge
+                if (line, rule_id) in parsed._suppression_hits:
+                    continue
+                finding = self.finding(
+                    parsed, None,
+                    f"'# lint: ignore[{rule_id}]' suppresses no "
+                    f"{rule_id} finding on this line", line=line,
+                    col=0)
+                if finding is not None:
+                    yield finding
+
+
+def run_rules(files: "Sequence[ParsedFile] | Project",
+              rules: Sequence[Rule | str] | None = None,
+              ) -> list[Finding]:
     """Run rules over already-parsed files.
+
+    Args:
+        files: the parsed file set — a plain sequence or an existing
+            :class:`~repro.analysis.graph.project.Project` (one is
+            built on the fly otherwise, so every rule shares the same
+            lazily constructed program graphs).
+        rules: rule subset as instances or rule-id strings (default:
+            every registered rule).  String ids resolve through
+            :func:`rule_by_id`, so the CLI and the API share one
+            validation path.
 
     Returns:
         All findings, sorted by (path, line, col, rule).
+
+    Raises:
+        KeyError: for unknown rule-id strings.
     """
-    if rules is None:
-        rules = all_rules()
+    from repro.analysis.graph.project import Project
+
+    project = files if isinstance(files, Project) else Project(files)
+    resolved = resolve_rules(rules)
+    for parsed in project:
+        parsed._suppression_hits.clear()
     findings: list[Finding] = []
-    for rule in rules:
-        findings.extend(f for f in rule.check(files) if f is not None)
+    dead_pass: UnusedIgnoreRule | None = None
+    for rule in resolved:
+        if isinstance(rule, UnusedIgnoreRule):
+            dead_pass = rule
+            continue
+        findings.extend(f for f in rule.check(project) if f is not None)
+    if dead_pass is not None:
+        ran = {rule.rule_id for rule in resolved
+               if not isinstance(rule, UnusedIgnoreRule)}
+        findings.extend(dead_pass.check_suppressions(project, ran))
     return sorted(findings)
 
 
+def resolve_rules(rules: Sequence[Rule | str] | None) -> list[Rule]:
+    """Normalize a rule selection to instances.
+
+    ``None`` selects every registered rule; strings resolve through
+    :func:`rule_by_id` (raising KeyError with the known ids for typos).
+    This is the single validation point shared by :func:`run_rules` and
+    the ``analyze`` CLI.
+    """
+    if rules is None:
+        return all_rules()
+    return [rule_by_id(rule) if isinstance(rule, str) else rule
+            for rule in rules]
+
+
 def analyze_paths(paths: Iterable[Path | str],
-                  rules: Sequence[Rule] | None = None,
+                  rules: Sequence[Rule | str] | None = None,
                   on_file: Callable[[str], None] | None = None,
                   ) -> list[Finding]:
     """Run rules over every Python file under ``paths``.
 
     Args:
         paths: files or directories to analyze.
-        rules: rule subset (default: every registered rule).
+        rules: rule subset — instances or rule-id strings (default:
+            every registered rule).
         on_file: optional progress hook called with each display path.
 
     Returns:

@@ -1,0 +1,293 @@
+"""Per-function control-flow graphs for path-sensitive rules.
+
+:func:`build_cfg` lowers one function body into basic blocks of
+*items* — plain statements plus three markers (:class:`Test` for branch
+conditions, :class:`WithEnter`/:class:`WithExit` around ``with``
+bodies) — connected by directed edges.  The graph is deliberately
+modest but honest about the control flow the lifecycle rules care
+about:
+
+* ``if``/``while``/``for`` branch and loop edges (including the
+  zero-iteration path), ``break``/``continue``/``return``;
+* ``try`` bodies get exception edges from every contained block to each
+  handler entry (and to the ``finally`` entry), so a release that only
+  happens on the fall-through path is visibly missing from the
+  exceptional one;
+* ``finally`` bodies are laid out once; their exit connects to the
+  normal continuation and — when the ``try`` has no handlers — to the
+  function exit, modeling exceptional pass-through.
+
+Loops are *bounded* at analysis time by the path enumerator
+(:mod:`repro.analysis.graph.dataflow`), not unrolled here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "Block", "Test", "WithEnter", "WithExit", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class Test:
+    """Marker item: a branch/loop condition evaluated in this block."""
+
+    expr: ast.expr
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Marker item: the context expressions of a ``with`` were entered."""
+
+    node: ast.AST
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Marker item: the ``with`` body completed normally."""
+
+    node: ast.AST
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line items plus successor edges."""
+
+    id: int
+    items: list[object] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+    def link(self, other: int) -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    func: ast.AST
+    blocks: list[Block]
+    entry: int
+    exit: int
+    #: Blocks that start an ``except`` clause.  A path entering one of
+    #: these arrived via an exception edge — rules use this to discount
+    #: effects of the raising statement itself (an acquisition whose
+    #: constructor raised never produced a resource).
+    handler_entries: set[int] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self._new()
+        self.exit = self._new()
+        self.current: int | None = self.entry
+        # (continue target, break target) per enclosing loop.
+        self.loops: list[tuple[int, int]] = []
+        # Exceptional targets (handler/finally entries) per open try.
+        self.handlers: list[list[int]] = []
+        # Every except-clause entry block (CFG.handler_entries).
+        self.handler_entry_ids: set[int] = set()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _new(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _append(self, item: object) -> None:
+        if self.current is not None:
+            self.blocks[self.current].items.append(item)
+
+    def _link(self, src: int | None, dst: int) -> None:
+        if src is not None:
+            self.blocks[src].link(dst)
+
+    def _goto(self, dst: int) -> None:
+        """End the current block by falling through to ``dst``."""
+        self._link(self.current, dst)
+        self.current = None
+
+    def _start(self, block: int) -> None:
+        self.current = block
+
+    # -- statement lowering ----------------------------------------------
+
+    def build(self) -> CFG:
+        self._visit_body(self.func.body)
+        if self.current is not None:
+            self._goto(self.exit)
+        return CFG(func=self.func, blocks=self.blocks,
+                   entry=self.entry, exit=self.exit,
+                   handler_entries=self.handler_entry_ids)
+
+    def _visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if self.current is None:
+                # Dead code after return/raise/break: parked in an
+                # unreachable block so items are still inspectable.
+                self._start(self._new())
+            self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._visit_loop(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._goto(self.exit)
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            for target in (self.handlers[-1] if self.handlers
+                           else [self.exit]):
+                self._link(self.current, target)
+            self.current = None
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            if self.loops:
+                self._goto(self.loops[-1][1])
+            else:
+                self._goto(self.exit)
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            if self.loops:
+                self._goto(self.loops[-1][0])
+            else:
+                self._goto(self.exit)
+        else:
+            # Nested defs are separate CFGs; everything else is a
+            # straight-line item of the current block.
+            self._append(stmt)
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._append(Test(stmt.test))
+        head = self.current
+        join = self._new()
+        then_entry = self._new()
+        self._link(head, then_entry)
+        self._start(then_entry)
+        self._visit_body(stmt.body)
+        if self.current is not None:
+            self._goto(join)
+        if stmt.orelse:
+            else_entry = self._new()
+            self._link(head, else_entry)
+            self._start(else_entry)
+            self._visit_body(stmt.orelse)
+            if self.current is not None:
+                self._goto(join)
+        else:
+            self._link(head, join)
+        self._start(join)
+
+    def _visit_loop(self, stmt: ast.stmt) -> None:
+        header = self._new()
+        after = self._new()
+        self._goto(header)
+        self._start(header)
+        if isinstance(stmt, ast.While):
+            self._append(Test(stmt.test))
+            infinite = (isinstance(stmt.test, ast.Constant)
+                        and bool(stmt.test.value))
+        else:
+            self._append(stmt)  # the For node carries target+iter
+            infinite = False
+        head = self.current
+        if not infinite:
+            self._link(head, after)  # zero-iteration / loop-done path
+        body_entry = self._new()
+        self._link(head, body_entry)
+        self.loops.append((header, after))
+        self._start(body_entry)
+        self._visit_body(stmt.body)
+        if self.current is not None:
+            self._goto(header)
+        self.loops.pop()
+        if stmt.orelse:
+            # else runs on normal loop exit; modeled as part of after.
+            self._start(after)
+            self._visit_body(stmt.orelse)
+            return
+        self._start(after)
+
+    def _visit_with(self, stmt: ast.stmt) -> None:
+        self._append(WithEnter(stmt))
+        self._visit_body(stmt.body)
+        if self.current is not None:
+            self._append(WithExit(stmt))
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        has_finally = bool(stmt.finalbody)
+        fin_entry = self._new() if has_finally else None
+        handler_entries = [self._new() for _ in stmt.handlers]
+        self.handler_entry_ids.update(handler_entries)
+        exceptional = list(handler_entries)
+        if fin_entry is not None and not handler_entries:
+            exceptional = [fin_entry]
+        after = self._new()
+
+        first_body_block = len(self.blocks)
+        self.handlers.append(exceptional)
+        if self.current is None:
+            self._start(self._new())
+        body_head = self.current
+        self._visit_body(stmt.body)
+        body_exit = self.current
+        self.handlers.pop()
+        # Exception edges: any block laid out for the body (plus the
+        # block the try opened in) may jump to each handler/finally.
+        body_blocks = [body_head] + list(range(first_body_block,
+                                               len(self.blocks)))
+        for block in body_blocks:
+            for target in exceptional:
+                self._link(block, target)
+
+        normal_exits: list[int] = []
+        if stmt.orelse:
+            if body_exit is not None:
+                self._start(body_exit)
+                self._visit_body(stmt.orelse)
+                body_exit = self.current
+        if body_exit is not None:
+            normal_exits.append(body_exit)
+
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self._start(entry)
+            self._append(handler)  # the except clause itself
+            self._visit_body(handler.body)
+            if self.current is not None:
+                normal_exits.append(self.current)
+
+        if fin_entry is not None:
+            for src in normal_exits:
+                self._link(src, fin_entry)
+            self._start(fin_entry)
+            self._visit_body(stmt.finalbody)
+            fin_exit = self.current
+            if fin_exit is not None:
+                self._link(fin_exit, after)
+                if not stmt.handlers:
+                    # Exceptional pass-through: the exception continues
+                    # to propagate after the finally body runs.
+                    self._link(fin_exit, self.exit)
+        else:
+            for src in normal_exits:
+                self._link(src, after)
+        self._start(after)
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The control-flow graph of one function/method definition."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg expects a function def, got "
+                        f"{type(func).__name__}")
+    return _Builder(func).build()

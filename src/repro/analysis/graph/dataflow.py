@@ -1,0 +1,117 @@
+"""A small path-sensitive dataflow solver over function CFGs.
+
+:func:`iter_paths` enumerates control-flow paths (entry -> exit) with
+loops bounded to one traversal per path and a global path cap, so
+analysis cost stays linear in practice.  :func:`solve_paths` folds a
+rule-supplied transfer function over each path's items and yields the
+terminal state together with the path — the path-sensitive primitive
+the resource-lifecycle rule is built on: a resource is leak-free only
+when *every* enumerated path ends with it released.
+
+When a function's branching exceeds the path cap the solver degrades
+gracefully: it reports the truncated path set and sets
+``PathSet.truncated`` so rules can choose to stay silent rather than
+guess (a linter must not hallucinate findings on code it could not
+fully enumerate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.analysis.graph.cfg import CFG
+
+__all__ = ["DEFAULT_MAX_PATHS", "Path", "PathSet", "iter_paths",
+           "solve_paths"]
+
+#: Global bound on enumerated paths per function.
+DEFAULT_MAX_PATHS = 512
+
+#: Times one block may repeat within a single path (loop bound).
+_MAX_VISITS = 2
+
+
+@dataclass
+class Path:
+    """One control-flow path: the block ids visited, entry to exit."""
+
+    blocks: list[int]
+
+    def items(self, cfg: CFG) -> Iterator[object]:
+        for block_id in self.blocks:
+            yield from cfg.blocks[block_id].items
+
+
+@dataclass
+class PathSet:
+    """The enumerated paths of one function."""
+
+    paths: list[Path]
+    truncated: bool
+
+
+def iter_paths(cfg: CFG,
+               max_paths: int = DEFAULT_MAX_PATHS) -> PathSet:
+    """Bounded depth-first enumeration of entry->exit paths."""
+    paths: list[Path] = []
+    truncated = False
+    # Explicit stack of (block, path-so-far, visit counts).
+    stack: list[tuple[int, list[int], dict[int, int]]] = [
+        (cfg.entry, [], {})]
+    while stack:
+        block_id, prefix, counts = stack.pop()
+        seen = counts.get(block_id, 0)
+        if seen >= _MAX_VISITS:
+            continue
+        path = prefix + [block_id]
+        if block_id == cfg.exit:
+            paths.append(Path(blocks=path))
+            if len(paths) >= max_paths:
+                truncated = bool(stack)
+                break
+            continue
+        succs = cfg.blocks[block_id].succs
+        if not succs:
+            # Dangling block (dead code or unterminated region): the
+            # path ends here without reaching exit; keep it so rules
+            # still see straight-line effects.
+            paths.append(Path(blocks=path))
+            if len(paths) >= max_paths:
+                truncated = bool(stack)
+                break
+            continue
+        nxt = dict(counts)
+        nxt[block_id] = seen + 1
+        # Reversed so the natural first successor is explored first.
+        for succ in reversed(succs):
+            stack.append((succ, path, nxt))
+    return PathSet(paths=paths, truncated=truncated)
+
+
+def solve_paths(cfg: CFG,
+                transfer: Callable[[Any, object], Any],
+                initial: Callable[[], Any],
+                max_paths: int = DEFAULT_MAX_PATHS,
+                ) -> tuple[list[tuple[Any, Path]], bool]:
+    """Run a transfer function over every enumerated path.
+
+    Args:
+        cfg: the function graph (:func:`build_cfg`).
+        transfer: ``(state, item) -> state``; items are statements or
+            the CFG marker objects (Test/WithEnter/WithExit).
+        initial: factory for a fresh per-path starting state.
+        max_paths: enumeration bound.
+
+    Returns:
+        ``(results, truncated)`` where results pairs each path's final
+        state with the path itself.
+    """
+    path_set = iter_paths(cfg, max_paths=max_paths)
+    results = []
+    for path in path_set.paths:
+        state = initial()
+        for item in path.items(cfg):
+            state = transfer(state, item)
+        results.append((state, path))
+    return results, path_set.truncated

@@ -1,4 +1,4 @@
-"""Text and JSON renderings of an analysis run."""
+"""Text, JSON, and SARIF renderings of an analysis run."""
 
 from __future__ import annotations
 
@@ -8,10 +8,16 @@ from typing import Sequence
 
 from repro.analysis.engine import Finding, Rule
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 #: JSON report schema version (bump when the field set changes).
 REPORT_SCHEMA_VERSION = 1
+
+#: SARIF spec pinned by ``render_sarif`` (GitHub code scanning's
+#: supported version).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
 
 def render_text(new: Sequence[tuple[Finding, str]],
@@ -66,5 +72,74 @@ def render_json(new: Sequence[tuple[Finding, str]],
         },
         "findings": ([encode(f, d, False) for f, d in new]
                      + [encode(f, d, True) for f, d in grandfathered]),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(new: Sequence[tuple[Finding, str]],
+                 grandfathered: Sequence[tuple[Finding, str]],
+                 rules: Sequence[Rule],
+                 n_files: int) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning upload.
+
+    New findings are ``level: error`` with ``baselineState: new``;
+    grandfathered ones are ``level: note`` / ``unchanged`` so they
+    surface without failing the gate.  Fingerprints ride along as
+    ``partialFingerprints`` keyed ``reproAnalysis/v1`` — the same
+    digests :mod:`repro.analysis.baseline` stores, so the baseline and
+    the code-scanning dedup agree on identity.  Output is
+    deterministic (sorted keys, fixed indentation).
+    """
+    rule_index = {rule.rule_id: index
+                  for index, rule in enumerate(rules)}
+
+    def encode(finding: Finding, digest: str,
+               baselined: bool) -> dict[str, object]:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "note" if baselined else "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; Finding.col is 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {"reproAnalysis/v1": digest},
+            "baselineState": "unchanged" if baselined else "new",
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        return result
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analyze",
+                    "informationUri":
+                        "https://example.invalid/repro/analysis",
+                    "semanticVersion": f"{REPORT_SCHEMA_VERSION}.0.0",
+                    "rules": [{
+                        "id": rule.rule_id,
+                        "shortDescription": {"text": rule.description},
+                    } for rule in rules],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "properties": {"n_files": n_files},
+            "results": ([encode(f, d, False) for f, d in new]
+                        + [encode(f, d, True)
+                           for f, d in grandfathered]),
+        }],
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"

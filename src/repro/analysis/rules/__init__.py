@@ -9,11 +9,16 @@ from repro.analysis.rules import (  # noqa: F401  (import == registration)
     contracts,
     determinism,
     exports,
+    lifecycle,
     parity,
     resilience,
+    seedtaint,
+    sharedstate,
     telemetry,
+    transfer,
     units,
 )
 
-__all__ = ["contracts", "determinism", "exports", "parity", "resilience",
-           "telemetry", "units"]
+__all__ = ["contracts", "determinism", "exports", "lifecycle", "parity",
+           "resilience", "seedtaint", "sharedstate", "telemetry",
+           "transfer", "units"]

@@ -21,9 +21,10 @@ within the analyzed set), so the fixture corpus can mirror the layout.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 
 __all__ = ["ExperimentContractRule", "REGISTRY_TUPLES"]
 
@@ -118,9 +119,9 @@ class ExperimentContractRule(Rule):
                    "COLUMNS schema, or a manifest-keyed "
                    "ExperimentResult")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        by_path = {parsed.path.resolve(): parsed for parsed in files}
-        registries = [parsed for parsed in files
+    def check(self, project: Project) -> Iterator[Finding]:
+        by_path = {parsed.path.resolve(): parsed for parsed in project}
+        registries = [parsed for parsed in project
                       if parsed.path.parts[-3:] == _REGISTRY_SUFFIX]
         for registry in registries:
             package_dir = registry.path.resolve().parent

@@ -23,9 +23,10 @@ directly; the legacy-API and stdlib-``random`` checks still apply there.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 
 __all__ = ["DeterminismRule", "LEGACY_NUMPY_RANDOM"]
 
@@ -89,8 +90,8 @@ class DeterminismRule(Rule):
     description = ("legacy np.random globals, stdlib random, time-derived "
                    "seeds, or internal default_rng() construction")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        for parsed in files:
+    def check(self, project: Project) -> Iterator[Finding]:
+        for parsed in project:
             yield from self._check_module(parsed)
 
     def _check_module(self, parsed: ParsedFile) -> Iterator[Finding]:

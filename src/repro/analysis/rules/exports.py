@@ -16,9 +16,10 @@ Two checks that keep module interfaces trustworthy as the codebase grows:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 
 __all__ = ["ExportHygieneRule"]
 
@@ -89,8 +90,8 @@ class ExportHygieneRule(Rule):
     description = ("__all__ inconsistent with module bindings/public "
                    "defs, or mutable default argument")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        for parsed in files:
+    def check(self, project: Project) -> Iterator[Finding]:
+        for parsed in project:
             yield from self._check_all(parsed)
             yield from self._check_defaults(parsed)
 

@@ -26,6 +26,7 @@ import re
 from typing import Iterator, Sequence
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 
 __all__ = ["ParityOracleRule", "REGISTRY_NAME", "REFERENCE_SUFFIX"]
 
@@ -82,9 +83,9 @@ class ParityOracleRule(Rule):
     description = ("vectorized kernel with a *_reference / registered "
                    "oracle sibling lacking a test importing both")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        sources = [p for p in files if not _is_test_file(p)]
-        tests = [p for p in files if _is_test_file(p)]
+    def check(self, project: Project) -> Iterator[Finding]:
+        sources = [p for p in project if not _is_test_file(p)]
+        tests = [p for p in project if _is_test_file(p)]
         test_blobs = [t.source for t in tests]
         for parsed in sources:
             defined = _callable_names(parsed.tree)

@@ -21,9 +21,10 @@ undermine that and are banned outright:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 
 __all__ = ["ResilienceRule"]
 
@@ -80,8 +81,8 @@ class ResilienceRule(Rule):
     description = ("bare 'except:' handler, or unbounded while-True "
                    "retry loop (handler continues without an exit)")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        for parsed in files:
+    def check(self, project: Project) -> Iterator[Finding]:
+        for parsed in project:
             yield from self._check_module(parsed)
 
     def _check_module(self, parsed: ParsedFile) -> Iterator[Finding]:

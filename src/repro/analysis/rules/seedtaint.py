@@ -1,0 +1,231 @@
+"""Rule ``seed-taint``: interprocedural RNG/seed provenance.
+
+The per-file ``determinism`` rule catches ambient randomness at the
+call site (``default_rng(time.time())``, ``seed=time.time_ns()``).
+What it cannot see is *laundered* nondeterminism: a helper that
+returns ``time.time_ns()`` two modules away, passed along the call
+graph until it lands in an ``ExperimentResult`` — at which point the
+artifact's recorded seed is wall-clock-derived and the byte-identical
+CSV contract is silently broken.
+
+This rule runs a small taint fixpoint over the project call graph:
+
+* **sources** — ``time.time()`` / ``time.time_ns()`` /
+  ``time.perf_counter()``, ``os.urandom(...)``, and a *bare*
+  ``default_rng()`` (no seed argument);
+* **propagation** — a function whose return value contains a source
+  (directly, through a tainted local, or through a call to an
+  already-tainted function) becomes tainted itself; iterate to
+  fixpoint so taint crosses any number of call edges and modules;
+* **sinks** — an ``ExperimentResult(...)`` construction, or any
+  ``seed=`` / ``derived_seed=`` keyword argument, receiving a tainted
+  expression.
+
+The sanctioned seed path (:func:`repro.obs.manifest.seeded_rng` and
+explicit integer seeds threaded through parameters) never touches a
+source, so it stays untainted by construction.  Taint does not flow
+through arguments (only through return values) — an under-
+approximation that keeps the rule quiet on code it cannot prove
+guilty.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.callgraph import CallGraph, dotted_parts
+from repro.analysis.graph.project import Project
+
+__all__ = ["SeedTaintRule", "TAINT_SOURCES"]
+
+#: Canonical dotted names whose call results are wall-clock/entropy
+#: tainted.
+TAINT_SOURCES = {"time.time", "time.time_ns", "time.perf_counter",
+                 "time.monotonic", "os.urandom"}
+
+#: Keyword arguments that are seed sinks on any call.
+_SINK_KEYWORDS = {"seed", "derived_seed"}
+
+
+def _is_test_file(parsed: ParsedFile) -> bool:
+    stem = parsed.path.stem
+    return stem.startswith("test_") or stem == "conftest"
+
+
+def _is_source_call(call: ast.Call, symbols) -> bool:
+    parts = dotted_parts(call.func)
+    if not parts:
+        return False
+    expanded = symbols.expand(parts)
+    if expanded in TAINT_SOURCES:
+        return True
+    # Bare default_rng(): seeded from OS entropy.
+    if expanded.endswith("default_rng") and not call.args \
+            and not call.keywords:
+        return True
+    return False
+
+
+class _FunctionTaint:
+    """Per-function taint summary used by the fixpoint."""
+
+    def __init__(self, info, symbols) -> None:
+        self.info = info
+        self.symbols = symbols
+
+    def tainted_locals(self, graph: CallGraph,
+                       tainted: set[str]) -> set[str]:
+        """Names bound (anywhere in the body) to a tainted value."""
+        names: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(self.info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self._expr_tainted(graph, tainted, names,
+                                          node.value):
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id not in names):
+                        names.add(target.id)
+                        changed = True
+        return names
+
+    def returns_taint(self, graph: CallGraph,
+                      tainted: set[str]) -> bool:
+        names = self.tainted_locals(graph, tainted)
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if self._expr_tainted(graph, tainted, names,
+                                      node.value):
+                    return True
+        return False
+
+    def _expr_tainted(self, graph: CallGraph, tainted: set[str],
+                      names: set[str], expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                if _is_source_call(node, self.symbols):
+                    return True
+                for qname in graph.resolve_call(node, self.symbols,
+                                                self.info):
+                    if qname in tainted:
+                        return True
+            elif isinstance(node, ast.Name) and node.id in names:
+                return True
+        return False
+
+
+@register_rule
+class SeedTaintRule(Rule):
+    """Wall-clock/entropy values must never become recorded seeds."""
+
+    rule_id = "seed-taint"
+    description = ("wall-clock or entropy-derived value flows into an "
+                   "ExperimentResult / seed= argument (breaks the "
+                   "byte-identical replay contract)")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph
+        summaries: dict[str, _FunctionTaint] = {}
+        for qname, info in graph.functions.items():
+            if _is_test_file(info.parsed):
+                continue
+            summaries[qname] = _FunctionTaint(
+                info, graph.table.of(info.parsed))
+
+        # Fixpoint: which functions return tainted values.
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for qname, summary in summaries.items():
+                if qname in tainted:
+                    continue
+                if summary.returns_taint(graph, tainted):
+                    tainted.add(qname)
+                    changed = True
+
+        for qname in sorted(summaries):
+            yield from self._check_sinks(graph, summaries[qname],
+                                         tainted)
+
+    def _check_sinks(self, graph: CallGraph, summary: _FunctionTaint,
+                     tainted: set[str]) -> Iterator[Finding]:
+        info, symbols = summary.info, summary.symbols
+        names = summary.tainted_locals(graph, tainted)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            is_result = self._is_result_ctor(graph, symbols, info,
+                                             node)
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                sink = (keyword.arg in _SINK_KEYWORDS
+                        or (is_result and keyword.arg in
+                            ("seed", "derived_seed")))
+                if not sink:
+                    continue
+                origin = self._taint_origin(graph, symbols, info,
+                                            names, tainted,
+                                            keyword.value)
+                if origin is None:
+                    continue
+                target = ("ExperimentResult" if is_result
+                          else "a seed argument")
+                finding = self.finding(
+                    info.parsed, keyword.value,
+                    f"'{keyword.arg}=' receives {origin} in "
+                    f"'{info.local}' — nondeterministic provenance "
+                    f"reaching {target}; thread an explicit seed "
+                    f"instead")
+                if finding is not None:
+                    yield finding
+
+    @staticmethod
+    def _is_result_ctor(graph, symbols, info, call: ast.Call) -> bool:
+        parts = dotted_parts(call.func)
+        return bool(parts) and parts[-1] == "ExperimentResult"
+
+    def _taint_origin(self, graph, symbols, info, names, tainted,
+                      expr: ast.expr) -> str | None:
+        """Human description of the taint in ``expr``, or None."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                if _is_source_call(node, symbols):
+                    parts = dotted_parts(node.func)
+                    return (f"'{'.'.join(parts)}()' "
+                            f"(wall-clock/entropy source)")
+                for qname in graph.resolve_call(node, symbols, info):
+                    if qname in tainted:
+                        chain = self._source_chain(graph, tainted,
+                                                   qname)
+                        return (f"a value from '{qname}'{chain} "
+                                f"(taints through its return value)")
+            elif isinstance(node, ast.Name) and node.id in names:
+                return (f"tainted local '{node.id}' "
+                        f"(wall-clock/entropy-derived)")
+        return None
+
+    @staticmethod
+    def _source_chain(graph: CallGraph, tainted: set[str],
+                      start: str) -> str:
+        """A short onward chain into deeper tainted callees."""
+        chain = [start]
+        current = start
+        for _ in range(3):
+            nxt = next((c for c in graph.functions[current].calls
+                        if c in tainted and c not in chain), None)
+            if nxt is None:
+                break
+            chain.append(nxt)
+            current = nxt
+        if len(chain) == 1:
+            return ""
+        return " via " + " -> ".join(
+            q.rpartition(":")[2] for q in chain[1:])

@@ -1,0 +1,200 @@
+"""Rule ``worker-shared-state``: workers must not write module globals.
+
+Worker processes are forked from the parent and then live for many
+tasks (:mod:`repro.perf.pool`).  A module-level mutable global written
+from worker code is the static signature of a race / state-bleed bug:
+under ``fork`` the write silently diverges from the parent's copy, and
+on a *reused* warm worker it leaks state from one task into the next —
+exactly the bleed the worker loop's reset discipline exists to
+prevent.
+
+The check is interprocedural: worker entry points are found
+structurally (the ``target=`` of a ``Process(...)`` construction), the
+call graph closes over everything reachable from them, and each
+reachable function is scanned for
+
+* rebinding a module global (``global NAME`` + assignment, or
+  ``mod.NAME = ...`` through a module alias);
+* mutating one in place — ``NAME[k] = v``, ``NAME.append(...)``,
+  ``mod.NAME.update(...)`` — when ``NAME`` is a module-level mutable
+  (list/dict/set literal or constructed object) of an analyzed module.
+
+The sanctioned reset idiom stays allowed: functions named ``reset`` /
+``enable`` / ``disable`` / ``clear`` / ``configure`` and dedicated
+``set_*`` setters (the per-task installation the worker loop performs
+deliberately — ``set_run_seed``, observability resets) are exempt, as
+are calls to methods with those names — installing process-local state
+after fork is the *fix* for state bleed, not an instance of it.  The
+rule targets the incidental write buried in task logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, register_rule
+from repro.analysis.graph.callgraph import CallGraph, dotted_parts
+from repro.analysis.graph.project import Project
+
+__all__ = ["SharedStateRule"]
+
+#: Method names that mutate a container/object in place.
+_MUTATORS = {"append", "extend", "insert", "add", "update", "setdefault",
+             "pop", "popitem", "remove", "discard", "__setitem__"}
+
+#: Sanctioned reset-discipline names (functions and methods): the
+#: worker loop *must* reset process-local observability state per task.
+_SANCTIONED = {"reset", "enable", "disable", "clear", "configure"}
+
+
+def _worker_entries(project: Project, graph: CallGraph) -> list[str]:
+    """Qnames passed as ``target=`` to a ``Process(...)`` call."""
+    entries: list[str] = []
+    for parsed in project:
+        symbols = project.symbols_of(parsed)
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if not parts or parts[-1] != "Process":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                entries.extend(graph.resolve_name(keyword.value,
+                                                  symbols))
+    return entries
+
+
+def _is_mutable_literal(node: ast.expr | None) -> bool:
+    """Module-global initializers that make in-place writes matter."""
+    return isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp, ast.Call))
+
+
+@register_rule
+class SharedStateRule(Rule):
+    """Functions reachable from worker entries keep globals read-only."""
+
+    rule_id = "worker-shared-state"
+    description = ("function reachable from a worker entry point "
+                   "writes a module-level mutable global (cross-fork "
+                   "state bleed)")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph
+        entries = _worker_entries(project, graph)
+        if not entries:
+            return
+        reachable = graph.reachable_from(entries)
+        for qname in sorted(reachable):
+            info = graph.functions[qname]
+            short = info.local.rsplit(".", 1)[-1]
+            if short in _SANCTIONED or short.startswith("set_"):
+                continue
+            yield from self._check_function(project, graph, info,
+                                            entries)
+
+    def _check_function(self, project, graph, info,
+                        entries) -> Iterator[Finding]:
+        symbols = graph.table.of(info.parsed)
+        declared_global: set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        for node in ast.walk(info.node):
+            message = self._violation(symbols, graph, declared_global,
+                                      node)
+            if message is None:
+                continue
+            chain = self._chain(graph, entries, info.qname)
+            finding = self.finding(
+                info.parsed, node,
+                f"{message} in '{info.local}', reachable from worker "
+                f"entry via {chain}; workers must not write module "
+                f"globals")
+            if finding is not None:
+                yield finding
+
+    @staticmethod
+    def _chain(graph: CallGraph, entries, qname: str) -> str:
+        if qname in entries:
+            return qname.rpartition(":")[2] + " (the entry itself)"
+        for entry in entries:
+            chain = graph.call_chain(entry, qname)
+            if chain:
+                names = [q.rpartition(":")[2] for q in chain]
+                return " -> ".join(names[:4])
+        return "worker entry"
+
+    def _violation(self, symbols, graph, declared_global,
+                   node: ast.AST) -> str | None:
+        # global NAME; NAME = ...  (rebinding process-wide state)
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id in declared_global):
+                    return (f"rebinds module global "
+                            f"'{target.id}'")
+                # mod.NAME = ... / GLOBAL[k] = ...
+                message = self._store_target(symbols, graph, target)
+                if message is not None:
+                    return message
+        # GLOBAL.append(...) / mod.GLOBAL.update(...)
+        if isinstance(node, ast.Call):
+            return self._mutator_call(symbols, graph, node)
+        return None
+
+    def _store_target(self, symbols, graph,
+                      target: ast.expr) -> str | None:
+        if isinstance(target, ast.Subscript):
+            base = self._global_base(symbols, graph, target.value)
+            if base is not None:
+                return f"writes into module global '{base}'"
+        elif isinstance(target, ast.Attribute):
+            # mod.NAME = ... rebinding through a module alias.
+            parts = dotted_parts(target)
+            if len(parts) == 2 and parts[0] in symbols.module_aliases:
+                module = graph.table.resolve_module(
+                    symbols.imports.get(parts[0], parts[0]), symbols)
+                if module is not None and parts[1] in \
+                        module.module_globals:
+                    return (f"rebinds module global "
+                            f"'{'.'.join(parts)}'")
+        return None
+
+    def _mutator_call(self, symbols, graph,
+                      call: ast.Call) -> str | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in _SANCTIONED:
+            return None
+        if func.attr not in _MUTATORS:
+            return None
+        base = self._global_base(symbols, graph, func.value)
+        if base is None:
+            return None
+        return (f"mutates module global '{base}' in place "
+                f"(.{func.attr}())")
+
+    @staticmethod
+    def _global_base(symbols, graph, expr: ast.expr) -> str | None:
+        """Dotted label when ``expr`` names a module-level mutable."""
+        if isinstance(expr, ast.Name):
+            value = symbols.module_globals.get(expr.id)
+            if value is not None and _is_mutable_literal(value):
+                return expr.id
+            return None
+        parts = dotted_parts(expr)
+        if len(parts) == 2 and parts[0] in symbols.module_aliases:
+            module = graph.table.resolve_module(
+                symbols.imports.get(parts[0], parts[0]), symbols)
+            if module is not None:
+                value = module.module_globals.get(parts[1])
+                if value is not None and _is_mutable_literal(value):
+                    return ".".join(parts)
+        return None

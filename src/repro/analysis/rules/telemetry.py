@@ -22,9 +22,10 @@ the registry names but the tree lacks are that rule's finding, not ours.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 from repro.analysis.rules.contracts import _registered_drivers
 
 __all__ = ["DriverTelemetryRule", "METRIC_CALLS"]
@@ -75,9 +76,9 @@ class DriverTelemetryRule(Rule):
                    "exports a metric (invisible to the run timeline "
                    "and dashboards)")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        by_path = {parsed.path.resolve(): parsed for parsed in files}
-        registries = [parsed for parsed in files
+    def check(self, project: Project) -> Iterator[Finding]:
+        by_path = {parsed.path.resolve(): parsed for parsed in project}
+        registries = [parsed for parsed in project
                       if parsed.path.parts[-3:] == _REGISTRY_SUFFIX]
         for registry in registries:
             package_dir = registry.path.resolve().parent

@@ -1,0 +1,276 @@
+"""Rule ``pipe-transfer``: worker dispatch payloads stay primitive.
+
+The warm-worker pipe (:meth:`repro.perf.pool.WarmPool.submit`) is a
+process boundary: everything in a task spec is pickled in the parent
+and unpickled in a long-lived worker.  The engine's contract
+(:mod:`repro.perf.parallel`) is that only *small primitives* cross —
+names, seeds, flags, plain dicts — never live objects: a file handle
+or socket does not pickle, a module or lambda drags parent state
+across ``fork``, a custom class instance smuggles code identity and
+can silently diverge between parent and worker versions.
+
+The check is interprocedural from the dispatch sites: for every
+``<pool>.submit(spec)`` call whose receiver provably is the warm pool
+(``get_pool(...)`` / ``WarmPool(...)``), the spec expression is traced
+to its dict literal — directly, through a local variable, or through
+the return of the spec-builder function it calls (the
+``make_spec``-style helper, nested or module-level) — and each value
+is classified against the transfer allowlist:
+
+* **allowed**: constants, f-strings, arithmetic/boolean combinations,
+  ``str()``/``int()``/``float()``/``bool()`` conversions, container
+  literals of allowed values, conditional expressions of allowed
+  values, ``x.to_dict()``-style serializations, and opaque reads
+  (parameters, attributes, subscripts) the analyzer cannot refute;
+* **flagged**: lambdas and comprehension/generator objects, function
+  and class references, module aliases, ``open(...)`` handles, shared
+  memory objects, and instances of project-defined classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.callgraph import CallGraph, dotted_parts
+from repro.analysis.graph.project import Project
+
+__all__ = ["TransferRule"]
+
+#: Builtin conversions that always yield transfer-safe values.
+_SAFE_CALLS = {"str", "int", "float", "bool", "len", "repr", "round",
+               "min", "max", "abs", "sorted", "list", "dict", "tuple"}
+
+#: Method names treated as explicit serialization to primitives.
+_SERIALIZE_METHODS = {"to_dict", "as_dict", "to_json", "dict"}
+
+#: Call targets that produce known-untransferable values.
+_FORBIDDEN_CALLS = {"open"}
+
+
+def _is_test_file(parsed: ParsedFile) -> bool:
+    stem = parsed.path.stem
+    return stem.startswith("test_") or stem == "conftest"
+
+
+def _pool_receivers(func_node: ast.AST, symbols,
+                    graph: CallGraph) -> set[str]:
+    """Local names in ``func_node`` bound to a warm pool."""
+    names: set[str] = set()
+    for node in ast.walk(func_node):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)):
+            continue
+        targets = graph.resolve_name(node.value.func, symbols)
+        if any(q.endswith(":get_pool") or q.endswith(":WarmPool.__init__")
+               or q.endswith(":WarmPool") for q in targets):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _nested_function(func_node: ast.AST, name: str):
+    """A def named ``name`` nested anywhere inside ``func_node``."""
+    for node in ast.walk(func_node):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name and node is not func_node):
+            return node
+    return None
+
+
+def _local_binding(scopes: list[ast.AST], name: str) -> ast.expr | None:
+    """The last plain assignment to ``name`` in the given scopes."""
+    bound: ast.expr | None = None
+    for scope in scopes:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        bound = node.value
+    return bound
+
+
+@register_rule
+class TransferRule(Rule):
+    """Only allowlisted value shapes may enter a worker task spec."""
+
+    rule_id = "pipe-transfer"
+    description = ("non-allowlisted value (callable, handle, module, "
+                   "or project-class instance) flows into a worker "
+                   "dispatch payload")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph
+        for parsed in project:
+            if _is_test_file(parsed):
+                continue
+            symbols = project.symbols_of(parsed)
+            for local, func_node in symbols.functions.items():
+                pools = _pool_receivers(func_node, symbols, graph)
+                if not pools:
+                    continue
+                yield from self._check_dispatches(
+                    project, graph, parsed, symbols, func_node, pools)
+
+    def _check_dispatches(self, project, graph, parsed, symbols,
+                          func_node, pools) -> Iterator[Finding]:
+        for node in ast.walk(func_node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pools
+                    and node.args):
+                continue
+            spec = node.args[0]
+            yield from self._check_spec(project, graph, parsed,
+                                        symbols, func_node, spec)
+
+    def _check_spec(self, project, graph, parsed, symbols, func_node,
+                    spec: ast.expr) -> Iterator[Finding]:
+        """Trace a submit argument to dict literal(s) and vet values."""
+        for owner_parsed, owner_symbols, literal in self._spec_dicts(
+                project, graph, parsed, symbols, func_node, spec):
+            scopes = [func_node]
+            for key_node, value in zip(literal.keys, literal.values):
+                key = (key_node.value
+                       if isinstance(key_node, ast.Constant) else "?")
+                reason = self._classify(owner_symbols, graph, scopes,
+                                        value)
+                if reason is None:
+                    continue
+                finding = self.finding(
+                    owner_parsed, value,
+                    f"task spec key '{key}' carries {reason}; only "
+                    f"primitives (str/int/float/bool/None and "
+                    f"containers of them) may cross the worker pipe")
+                if finding is not None:
+                    yield finding
+
+    def _spec_dicts(self, project, graph, parsed, symbols, func_node,
+                    spec: ast.expr):
+        """Yield ``(parsed, symbols, dict-literal)`` for a spec expr."""
+        if isinstance(spec, ast.Dict):
+            yield parsed, symbols, spec
+            return
+        if isinstance(spec, ast.Name):
+            bound = _local_binding([func_node], spec.id)
+            if bound is not None:
+                yield from self._spec_dicts(project, graph, parsed,
+                                            symbols, func_node, bound)
+            return
+        if isinstance(spec, ast.Call):
+            # A spec-builder call: nested def first, then call graph.
+            callee = None
+            if isinstance(spec.func, ast.Name):
+                callee = _nested_function(func_node, spec.func.id)
+            if callee is not None:
+                yield from self._returned_dicts(parsed, symbols, callee)
+                return
+            for qname in graph.resolve_name(spec.func, symbols):
+                info = graph.functions[qname]
+                owner_symbols = project.symbols_of(info.parsed)
+                yield from self._returned_dicts(info.parsed,
+                                                owner_symbols,
+                                                info.node)
+
+    @staticmethod
+    def _returned_dicts(parsed, symbols, func_node):
+        for node in ast.walk(func_node):
+            if (isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Dict)):
+                yield parsed, symbols, node.value
+
+    # -- value classification ---------------------------------------------
+
+    def _classify(self, symbols, graph: CallGraph, scopes,
+                  value: ast.expr) -> str | None:
+        """Why a value is untransferable, or None when allowed."""
+        if isinstance(value, ast.Constant):
+            return None
+        if isinstance(value, (ast.Lambda,)):
+            return "a lambda (unpicklable callable)"
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator object"
+        if isinstance(value, ast.JoinedStr):
+            return None
+        if isinstance(value, (ast.BinOp, ast.UnaryOp, ast.Compare,
+                              ast.BoolOp)):
+            return None
+        if isinstance(value, ast.IfExp):
+            return (self._classify(symbols, graph, scopes, value.body)
+                    or self._classify(symbols, graph, scopes,
+                                      value.orelse))
+        if isinstance(value, (ast.Dict,)):
+            for sub in value.values:
+                reason = self._classify(symbols, graph, scopes, sub)
+                if reason is not None:
+                    return reason
+            return None
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            for sub in value.elts:
+                reason = self._classify(symbols, graph, scopes, sub)
+                if reason is not None:
+                    return reason
+            return None
+        if isinstance(value, ast.Name):
+            return self._classify_name(symbols, graph, scopes, value.id)
+        if isinstance(value, ast.Call):
+            return self._classify_call(symbols, graph, scopes, value)
+        if isinstance(value, (ast.Attribute, ast.Subscript)):
+            # Opaque reads: cannot refute, so allowed (module aliases
+            # themselves are caught as bare names).
+            return None
+        return None
+
+    def _classify_name(self, symbols, graph, scopes,
+                       name: str) -> str | None:
+        if name in symbols.functions:
+            return f"the function '{name}' (code reference)"
+        if name in symbols.classes:
+            return f"the class '{name}' (code reference)"
+        if name in symbols.module_aliases:
+            return f"the module alias '{name}'"
+        if name in symbols.imports:
+            resolved = graph.table.resolve_symbol(symbols.imports[name],
+                                                  symbols)
+            if resolved is not None:
+                module, local = resolved
+                if local in module.functions:
+                    return f"the function '{name}' (code reference)"
+                if local in module.classes:
+                    return f"the class '{name}' (code reference)"
+            if graph.table.resolve_module(symbols.imports[name],
+                                          symbols) is not None:
+                return f"the module alias '{name}'"
+        bound = _local_binding(scopes, name)
+        if bound is not None and not isinstance(bound, ast.Name):
+            return self._classify(symbols, graph, scopes, bound)
+        return None  # parameter / closure read: cannot refute
+
+    def _classify_call(self, symbols, graph, scopes,
+                       call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SERIALIZE_METHODS:
+                return None
+            # e.g. shared_memory.SharedMemory(...)
+            parts = dotted_parts(func)
+            expanded = symbols.expand(parts) if parts else ""
+            if expanded.endswith("SharedMemory"):
+                return "a live SharedMemory object"
+        if isinstance(func, ast.Name):
+            if func.id in _SAFE_CALLS:
+                return None
+            if func.id in _FORBIDDEN_CALLS:
+                return "an open file handle"
+        targets = graph.resolve_name(func, symbols)
+        for qname in targets:
+            local = graph.functions[qname].local
+            if local.endswith(".__init__"):
+                cls = local.rsplit(".", 1)[0]
+                return (f"an instance of project class '{cls}' "
+                        f"(not on the transfer allowlist)")
+        return None

@@ -24,9 +24,10 @@ from __future__ import annotations
 import ast
 import math
 import re
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.analysis.engine import Finding, ParsedFile, Rule, register_rule
+from repro.analysis.graph.project import Project
 
 __all__ = ["UnitsRule", "is_power_of_ten", "power_of_ten_exponent"]
 
@@ -78,8 +79,8 @@ class UnitsRule(Rule):
     description = ("bare power-of-ten unit factors in arithmetic or "
                    "unit-suffixed bindings; use repro.units helpers")
 
-    def check(self, files: Sequence[ParsedFile]) -> Iterator[Finding]:
-        for parsed in files:
+    def check(self, project: Project) -> Iterator[Finding]:
+        for parsed in project:
             if _exempt(parsed):
                 continue
             yield from self._check_module(parsed)

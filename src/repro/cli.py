@@ -390,6 +390,7 @@ def _repo_root() -> Path:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro import analysis
+    from repro.analysis.graph import Project
 
     root = _repo_root()
     if args.paths:
@@ -399,8 +400,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     baseline_path = (Path(args.baseline) if args.baseline
                      else root / analysis.DEFAULT_BASELINE_PATH)
     try:
+        # Single validation path shared with run_rules (rule_by_id).
+        rules = analysis.resolve_rules(args.rules or None)
+    except KeyError as error:
+        print(f"analyze: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
         files = analysis.collect_files(paths)
-        findings = analysis.run_rules(files)
+        project = Project(files)
+        if args.graph:
+            return _dump_graph(args, project)
+        findings = analysis.run_rules(project, rules)
     except analysis.AnalysisError as error:
         print(f"analyze: {error}", file=sys.stderr)
         return 2
@@ -425,24 +435,58 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"analyze: {error}", file=sys.stderr)
         return 2
     new, grandfathered = analysis.split_by_baseline(fingerprinted, entries)
+    # Only entries whose file was actually analyzed can be judged stale
+    # (a restricted `analyze PATH` run says nothing about the rest).
+    analyzed = {parsed.display_path for parsed in files}
+    stale = [entry
+             for entry in analysis.stale_entries(entries, fingerprinted)
+             if entry.get("path") in analyzed]
+    if stale and not getattr(args, "quiet", False):
+        for entry in stale:
+            print(f"analyze: stale baseline entry "
+                  f"{entry.get('fingerprint')} ({entry.get('rule')} in "
+                  f"{entry.get('path')}): violation no longer exists — "
+                  f"prune it with --update-baseline", file=sys.stderr)
 
-    rules = analysis.all_rules()
-    if args.format == "json":
-        rendered = analysis.render_json(new, grandfathered, rules,
-                                        len(files))
-    else:
-        rendered = analysis.render_text(new, grandfathered, rules,
-                                        len(files))
+    renderers = {"json": analysis.render_json,
+                 "sarif": analysis.render_sarif,
+                 "text": analysis.render_text}
+    rendered = renderers[args.format](new, grandfathered, rules,
+                                      len(files))
     if not getattr(args, "quiet", False) or new:
         print(rendered, end="" if rendered.endswith("\n") else "\n")
     if args.output:
         out = Path(args.output)
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(analysis.render_json(new, grandfathered, rules,
-                                            len(files)))
+        # --output keeps the chosen machine format (SARIF for code
+        # scanning); the default/text run still writes JSON for the CI
+        # artifact.
+        writer = (analysis.render_sarif if args.format == "sarif"
+                  else analysis.render_json)
+        out.write_text(writer(new, grandfathered, rules, len(files)))
         if not getattr(args, "quiet", False):
-            print(f"json report written to {out}", file=sys.stderr)
+            label = "sarif" if args.format == "sarif" else "json"
+            print(f"{label} report written to {out}", file=sys.stderr)
     return 1 if new else 0
+
+
+def _dump_graph(args: argparse.Namespace, project) -> int:
+    """``analyze --graph json|dot``: dump the project call graph."""
+    graph = project.call_graph
+    if args.graph == "dot":
+        rendered = graph.to_dot()
+    else:
+        rendered = json.dumps(graph.to_json(), indent=2,
+                              sort_keys=True) + "\n"
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered)
+        if not getattr(args, "quiet", False):
+            print(f"call graph written to {out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -727,17 +771,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze_cmd = sub.add_parser(
         "analyze",
-        help="run the AST invariant linter over src/ and tests/")
+        help="run the whole-program analyzer over src/ and tests/")
     analyze_cmd.add_argument(
         "paths", nargs="*",
         help="files/directories to analyze (default: the checkout's "
              "src/ and tests/)")
     analyze_cmd.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format printed to stdout")
     analyze_cmd.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE_ID",
+        help="run only this rule (repeatable; unknown ids exit 2 "
+             "listing the known rules)")
+    analyze_cmd.add_argument(
+        "--graph", choices=("json", "dot"), default=None,
+        help="dump the project call graph instead of running rules")
+    analyze_cmd.add_argument(
         "--output", default=None, metavar="PATH",
-        help="also write the JSON report to PATH (CI artifact)")
+        help="also write the machine report to PATH (JSON, or SARIF "
+             "under --format sarif; CI artifact)")
     analyze_cmd.add_argument(
         "--baseline", default=None, metavar="PATH",
         help="baseline file of grandfathered violations (default: "

@@ -291,8 +291,10 @@ def reclaim_segment(name: str) -> bool:
         shm = shared_memory.SharedMemory(name=name)
     except (FileNotFoundError, OSError):
         return False
-    shm.close()
-    shm.unlink()
+    try:
+        shm.close()
+    finally:
+        shm.unlink()
     return True
 
 

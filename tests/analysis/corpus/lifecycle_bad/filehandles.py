@@ -1,0 +1,16 @@
+"""Leaky file handles (resource-lifecycle corpus)."""
+
+
+def read_config(path, strict):
+    """The raising path leaves the handle open."""
+    handle = open(path)
+    text = handle.read()
+    if strict and not text:
+        raise ValueError(path)
+    handle.close()
+    return text
+
+
+def touch_marker(path):
+    """Handle never bound, never closed."""
+    open(path, "w")

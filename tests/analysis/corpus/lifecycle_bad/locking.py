@@ -1,0 +1,11 @@
+"""fcntl lock held across a raising path (resource-lifecycle corpus)."""
+
+import fcntl
+
+
+def update_locked(handle, payload, validate):
+    fcntl.flock(handle, fcntl.LOCK_EX)
+    if not validate(payload):
+        raise ValueError("bad payload")
+    handle.write(payload)
+    fcntl.flock(handle, fcntl.LOCK_UN)

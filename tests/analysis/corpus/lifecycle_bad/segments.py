@@ -1,0 +1,20 @@
+"""Leaky shared-memory lifecycles (resource-lifecycle corpus)."""
+
+from multiprocessing import shared_memory
+
+
+def close_without_unlink(name):
+    """Closed but never unlinked: the segment outlives the process."""
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    seg.buf[0] = 1
+    seg.close()
+
+
+def early_return_leak(name, skip):
+    """The skip path drops the mapping without close or unlink."""
+    seg = shared_memory.SharedMemory(name=name)
+    if skip:
+        return None
+    seg.close()
+    seg.unlink()
+    return True

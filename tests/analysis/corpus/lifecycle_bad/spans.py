@@ -1,0 +1,8 @@
+"""Tracer span acquired outside ``with`` and never ended."""
+
+from repro.obs.trace import span
+
+
+def timed_step(work):
+    s = span("corpus-step")
+    return work()

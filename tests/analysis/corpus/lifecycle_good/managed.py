@@ -1,0 +1,45 @@
+"""Sanctioned lifecycle forms: with, try/finally, ownership escape."""
+
+import fcntl
+from multiprocessing import shared_memory
+
+from repro.obs.trace import span
+
+
+def roundtrip(name):
+    seg = shared_memory.SharedMemory(name=name, create=True, size=64)
+    try:
+        seg.buf[0] = 1
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def read_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def update_locked(handle, payload):
+    fcntl.flock(handle, fcntl.LOCK_EX)
+    try:
+        handle.write(payload)
+    finally:
+        fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def traced(work):
+    with span("corpus-step"):
+        return work()
+
+
+def adopt(name, registry):
+    """Ownership escape: the registry takes over the release."""
+    seg = shared_memory.SharedMemory(name=name)
+    registry.adopt(seg)
+    return None
+
+
+def handed_back(name):
+    """Returning the handle transfers the obligation to the caller."""
+    return shared_memory.SharedMemory(name=name)

@@ -1,0 +1,11 @@
+"""Wall-clock helpers two hops from the sink (seed-taint corpus)."""
+
+import time
+
+
+def wall_clock_tag():
+    return int(time.time_ns())
+
+
+def session_stamp():
+    return wall_clock_tag() + 1

@@ -1,0 +1,28 @@
+"""Laundered nondeterminism reaching seed sinks (seed-taint corpus)."""
+
+import os
+import time
+
+from entropy import session_stamp
+
+
+class ExperimentResult:
+    def __init__(self, name, rows, seed=None, derived_seed=None):
+        self.name = name
+        self.rows = rows
+        self.seed = seed
+        self.derived_seed = derived_seed
+
+
+def record_run(name, rows):
+    return ExperimentResult(name, rows, seed=session_stamp())
+
+
+def fallback_seed(rows):
+    seed = int(time.time())
+    return ExperimentResult("fallback", rows, seed=seed)
+
+
+def derive(name, rows):
+    return ExperimentResult(
+        name, rows, derived_seed=int.from_bytes(os.urandom(4), "big"))

@@ -1,0 +1,18 @@
+"""Explicit seeds threaded through parameters stay untainted."""
+
+
+class ExperimentResult:
+    def __init__(self, name, rows, seed=None, derived_seed=None):
+        self.name = name
+        self.rows = rows
+        self.seed = seed
+        self.derived_seed = derived_seed
+
+
+def derive_seed(seed, index):
+    return seed * 1000003 + index
+
+
+def record_run(name, rows, seed):
+    return ExperimentResult(name, rows, seed=seed,
+                            derived_seed=derive_seed(seed, 1))

@@ -1,0 +1,3 @@
+"""Module-level mutable state a sibling worker writes into."""
+
+SETTINGS = {"mode": "fast"}

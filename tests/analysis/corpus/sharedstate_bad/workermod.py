@@ -1,0 +1,34 @@
+"""Worker-reachable functions writing module globals (corpus)."""
+
+from multiprocessing import Process
+
+import globalstate
+
+RESULTS = []
+TASK_COUNT = 0
+
+
+def record(row):
+    RESULTS.append(row)
+
+
+def bump():
+    global TASK_COUNT
+    TASK_COUNT = TASK_COUNT + 1
+
+
+def retune(mode):
+    globalstate.SETTINGS["mode"] = mode
+
+
+def worker_main(queue):
+    for row in iter(queue.get, None):
+        record(row)
+        bump()
+        retune("slow")
+
+
+def launch(queue):
+    proc = Process(target=worker_main, args=(queue,))
+    proc.start()
+    return proc

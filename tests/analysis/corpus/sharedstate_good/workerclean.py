@@ -1,0 +1,31 @@
+"""Sanctioned worker-side state handling: set_* setters and resets."""
+
+from multiprocessing import Process
+
+_ENABLED = False
+_SEED = None
+
+
+def set_task_seed(value):
+    global _SEED
+    _SEED = value
+
+
+def enable():
+    global _ENABLED
+    _ENABLED = True
+
+
+def worker_main(queue):
+    for item in iter(queue.get, None):
+        set_task_seed(item)
+        enable()
+        rows = [item * 2]
+        rows.append(item)
+        queue.put(rows)
+
+
+def launch(queue):
+    proc = Process(target=worker_main, args=(queue,))
+    proc.start()
+    return proc

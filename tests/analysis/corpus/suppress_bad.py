@@ -1,0 +1,13 @@
+"""Dead inline suppressions (unused-ignore corpus)."""
+
+
+def scaled(value):
+    return value + 1  # lint: ignore[units]
+
+
+def stamp(value):
+    return str(value)  # lint: ignore[determinism]
+
+
+def helper(rows):
+    return list(rows)  # lint: ignore[no-such-rule]

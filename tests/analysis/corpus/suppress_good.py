@@ -1,0 +1,3 @@
+"""A live suppression: the units rule would fire on this line."""
+
+POWER_LIMIT_W = 1e-3  # lint: ignore[units]

@@ -1,0 +1,16 @@
+"""Dispatch sites shipping live objects over the pipe."""
+
+from poolmod import get_pool
+from probes import Probe, make_remote_spec
+
+
+def run_tasks(names, jobs):
+    pool = get_pool(jobs)
+    for name in names:
+        pool.submit({
+            "name": name,
+            "callback": lambda: name,
+            "builder": get_pool,
+            "probe": Probe(2),
+        })
+    return pool.submit(make_remote_spec(names))

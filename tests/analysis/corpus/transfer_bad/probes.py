@@ -1,0 +1,13 @@
+"""Cross-file spec builder smuggling a handle (pipe-transfer corpus)."""
+
+
+class Probe:
+    def __init__(self, depth):
+        self.depth = depth
+
+
+def make_remote_spec(names):
+    return {
+        "count": len(names),
+        "log": open("probe.log", "w"),
+    }

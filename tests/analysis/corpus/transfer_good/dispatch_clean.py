@@ -1,0 +1,19 @@
+"""Dispatches carrying only allowlisted primitive shapes."""
+
+from poolgood import get_pool
+
+
+def run_tasks(names, jobs, seed, config):
+    pool = get_pool(jobs)
+    results = []
+    for index, name in enumerate(names):
+        spec = {
+            "name": str(name),
+            "seed": seed + index,
+            "label": f"task-{index}",
+            "flags": {"cache": True, "jobs": jobs},
+            "mode": "wide" if jobs > 1 else "narrow",
+            "config": config.to_dict(),
+        }
+        results.append(pool.submit(spec))
+    return results

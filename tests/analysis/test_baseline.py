@@ -4,9 +4,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import (AnalysisError, Finding, baseline_entry,
-                            fingerprint, fingerprint_findings, load_baseline,
-                            save_baseline, split_by_baseline)
+from repro.analysis import (AnalysisError, Finding, analyze_paths,
+                            baseline_entry, collect_files, fingerprint,
+                            fingerprint_findings, load_baseline,
+                            save_baseline, split_by_baseline, stale_entries)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 COMMITTED_BASELINE = REPO_ROOT / ".analysis-baseline.json"
@@ -71,6 +72,29 @@ def test_split_by_baseline_partitions():
     new, grandfathered = split_by_baseline(fingerprinted, entries)
     assert [f.path for f, _ in new] == ["new.py"]
     assert [f.path for f, _ in grandfathered] == ["old.py"]
+
+
+def test_stale_entries_returns_unmatched_baseline_records():
+    live = _finding(path="live.py")
+    fingerprinted = [(live, "deadbeef")]
+    entries = [baseline_entry(live, "deadbeef"),
+               baseline_entry(_finding(path="gone.py"), "0badf00d")]
+    stale = stale_entries(entries, fingerprinted)
+    assert [e["path"] for e in stale] == ["gone.py"]
+    assert stale_entries(entries[:1], fingerprinted) == []
+
+
+def test_committed_baseline_entry_is_still_live():
+    """Every grandfathered fingerprint must match a current finding."""
+    entries = load_baseline(COMMITTED_BASELINE)
+    target = REPO_ROOT / "src" / "repro" / "decoders" / "lda.py"
+    files = collect_files([target])
+    findings = analyze_paths([target])
+    line_text = {(parsed.display_path, number): text
+                 for parsed in files
+                 for number, text in enumerate(parsed.lines, start=1)}
+    fingerprinted = fingerprint_findings(findings, line_text)
+    assert stale_entries(entries, fingerprinted) == []
 
 
 def test_load_baseline_missing_file_is_empty(tmp_path):

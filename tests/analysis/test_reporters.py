@@ -1,0 +1,125 @@
+"""Reporter coverage: text, JSON, and SARIF renderings round-trip."""
+
+import json
+
+from repro.analysis import (Finding, all_rules, render_json, render_sarif,
+                            render_text, rule_by_id)
+
+RULES = [rule_by_id("units"), rule_by_id("determinism")]
+
+
+def _finding(path="src/a.py", line=3, col=4, rule="units",
+             message="bare factor"):
+    return Finding(path=path, line=line, col=col, rule=rule,
+                   message=message)
+
+
+def _pair(**kwargs):
+    digest = kwargs.pop("digest", "cafe0000cafe0000")
+    return (_finding(**kwargs), digest)
+
+
+def test_text_report_lists_findings_and_summary():
+    new = [_pair(), _pair(path="src/b.py", rule="determinism",
+                          message="np.random", digest="beef")]
+    out = render_text(new, [], RULES, n_files=7)
+    lines = out.splitlines()
+    assert lines[0] == "src/a.py:3:4: [units] bare factor"
+    assert lines[1] == "src/b.py:3:4: [determinism] np.random"
+    assert "analyzed 7 files with 2 rules: 2 new finding(s)" in lines[-1]
+    assert "determinism=1" in lines[-1] and "units=1" in lines[-1]
+
+
+def test_text_report_empty_run():
+    out = render_text([], [], RULES, n_files=3)
+    assert out == "analyzed 3 files with 2 rules: 0 new finding(s)"
+
+
+def test_text_report_mentions_baselined_count():
+    out = render_text([], [_pair()], RULES, n_files=1)
+    assert out.endswith("0 new finding(s), 1 baselined")
+
+
+def test_json_report_round_trips_and_orders_findings():
+    new = [_pair(path="src/z.py", digest="1111"),
+           _pair(path="src/a.py", digest="2222")]
+    old = [_pair(path="src/m.py", digest="3333")]
+    report = json.loads(render_json(new, old, RULES, n_files=5))
+    assert report["schema_version"] == 1
+    assert report["n_files"] == 5
+    assert report["counts"] == {"new": 2, "baselined": 1}
+    # New findings first (in given order), then the baselined tail.
+    assert [f["path"] for f in report["findings"]] == [
+        "src/z.py", "src/a.py", "src/m.py"]
+    assert [f["baselined"] for f in report["findings"]] == [
+        False, False, True]
+    assert {r["id"] for r in report["rules"]} == {"units", "determinism"}
+
+
+def test_json_report_empty_is_valid():
+    report = json.loads(render_json([], [], [], n_files=0))
+    assert report["counts"] == {"new": 0, "baselined": 0}
+    assert report["findings"] == []
+
+
+def test_sarif_document_structure():
+    new = [_pair(digest="aaaa")]
+    old = [_pair(path="src/old.py", rule="determinism",
+                 message="np.random", digest="bbbb")]
+    document = json.loads(render_sarif(new, old, RULES, n_files=9))
+    assert document["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in document["$schema"]
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analyze"
+    assert [r["id"] for r in driver["rules"]] == ["units", "determinism"]
+    assert run["properties"]["n_files"] == 9
+
+    fresh, grandfathered = run["results"]
+    assert fresh["ruleId"] == "units"
+    assert fresh["ruleIndex"] == 0
+    assert fresh["level"] == "error"
+    assert fresh["baselineState"] == "new"
+    assert fresh["partialFingerprints"] == {"reproAnalysis/v1": "aaaa"}
+    location = fresh["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/a.py"
+    # SARIF columns are 1-based while Finding.col is 0-based.
+    assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+    assert grandfathered["level"] == "note"
+    assert grandfathered["baselineState"] == "unchanged"
+    assert grandfathered["ruleIndex"] == 1
+
+
+def test_sarif_empty_report_is_uploadable():
+    document = json.loads(render_sarif([], [], all_rules(), n_files=0))
+    (run,) = document["runs"]
+    assert run["results"] == []
+    assert len(run["tool"]["driver"]["rules"]) == len(all_rules())
+
+
+def test_sarif_multi_file_ordering_is_stable():
+    new = [_pair(path="src/b.py", digest="1"),
+           _pair(path="src/a.py", digest="2"),
+           _pair(path="src/a.py", line=9, digest="3")]
+    first = render_sarif(new, [], RULES, n_files=2)
+    second = render_sarif(new, [], RULES, n_files=2)
+    assert first == second
+    document = json.loads(first)
+    uris = [r["locations"][0]["physicalLocation"]["artifactLocation"]
+            ["uri"] for r in document["runs"][0]["results"]]
+    # Results keep the caller-given (already sorted-by-engine) order.
+    assert uris == ["src/b.py", "src/a.py", "src/a.py"]
+
+
+def test_reporters_agree_on_counts():
+    new = [_pair(digest="aa"), _pair(path="src/b.py", digest="bb")]
+    old = [_pair(path="src/c.py", digest="cc")]
+    text = render_text(new, old, RULES, 3)
+    as_json = json.loads(render_json(new, old, RULES, 3))
+    sarif = json.loads(render_sarif(new, old, RULES, 3))
+    assert "2 new finding(s)" in text
+    assert as_json["counts"]["new"] == 2
+    results = sarif["runs"][0]["results"]
+    assert sum(r["baselineState"] == "new" for r in results) == 2
+    assert sum(r["baselineState"] == "unchanged" for r in results) == 1

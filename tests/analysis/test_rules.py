@@ -12,15 +12,23 @@ CORPUS = Path(__file__).parent / "corpus"
 
 #: Findings each corpus fixture is designed to produce.  The
 #: driver-telemetry count spans two fixtures: contracts_bad/broken.py
-#: (2: no span, no metric) and telemetry_bad/dark.py (2 more).
+#: (2: no span, no metric) and telemetry_bad/dark.py (2 more).  The
+#: determinism count includes one deliberate overlap in
+#: seedtaint_bad/recorder.py: the per-file rule flags the
+#: ``int(time.time())`` assignment while seed-taint flags the sink.
 EXPECTED_BY_RULE = {
-    "determinism": 4,
+    "determinism": 5,
     "driver-telemetry": 4,
     "experiment-contract": 5,
     "export-hygiene": 3,
     "parity-oracle": 2,
+    "pipe-transfer": 4,
     "resilience": 2,
+    "resource-lifecycle": 7,
+    "seed-taint": 3,
     "units": 2,
+    "unused-ignore": 3,
+    "worker-shared-state": 3,
 }
 
 
@@ -30,6 +38,15 @@ def test_registry_exposes_all_rules():
     assert rule_by_id("units").rule_id == "units"
     with pytest.raises(KeyError):
         rule_by_id("no-such-rule")
+
+
+def test_rule_by_id_error_lists_known_rules():
+    with pytest.raises(KeyError) as exc:
+        rule_by_id("no-such-rule")
+    message = exc.value.args[0]
+    assert "unknown rule 'no-such-rule'" in message
+    for rule_id in EXPECTED_BY_RULE:
+        assert rule_id in message
 
 
 def test_corpus_totals_by_rule():
@@ -58,7 +75,9 @@ def test_units_rule_suppression_and_epsilons():
 
 def test_units_rule_fires_without_suppression(tmp_path):
     clean = (CORPUS / "units_good.py").read_text(encoding="utf-8")
-    stripped = clean.replace("  # lint: ignore[units]", "")
+    # Built by concatenation so this line is not itself a suppression.
+    marker = "  # lint: " + "ignore[units]"
+    stripped = clean.replace(marker, "")
     target = tmp_path / "resuppressed.py"
     target.write_text(stripped, encoding="utf-8")
     findings = analyze_paths([target])
@@ -147,6 +166,77 @@ def test_telemetry_rule_dark_driver_and_clean_fixture():
     assert "never opens a span" in blob
     assert "never exports a metric" in blob
     assert analyze_paths([CORPUS / "telemetry_good"]) == []
+
+
+def test_lifecycle_rule_catalogue():
+    findings = analyze_paths([CORPUS / "lifecycle_bad"])
+    lifecycle = [f for f in findings if f.rule == "resource-lifecycle"]
+    assert len(lifecycle) == 7
+    blob = " | ".join(f.message for f in lifecycle)
+    assert "shared-memory segment 'seg'" in blob
+    assert "not unlinked (or ownership-transferred)" in blob
+    assert "file handle 'handle'" in blob
+    assert "fcntl lock acquired here is not released with LOCK_UN" in blob
+    assert "tracer span 's'" in blob
+    # The early-return segment leaks both protocol halves.
+    seg_lines = [f.line for f in lifecycle
+                 if "segments.py" in f.path and f.line == 15]
+    assert len(seg_lines) == 2
+    assert analyze_paths([CORPUS / "lifecycle_good"]) == []
+
+
+def test_transfer_rule_flags_cross_file_spec_builder():
+    findings = analyze_paths([CORPUS / "transfer_bad"])
+    transfer = [f for f in findings if f.rule == "pipe-transfer"]
+    assert len(transfer) == 4
+    blob = " | ".join(f.message for f in transfer)
+    assert "a lambda (unpicklable callable)" in blob
+    assert "the function 'get_pool' (code reference)" in blob
+    assert "an instance of project class 'Probe'" in blob
+    # The open() handle is found inside the *sibling* builder module:
+    # the dispatch is in dispatch.py, the dict literal in probes.py.
+    handle = [f for f in transfer if "open file handle" in f.message]
+    assert [f.path.rsplit("/", 1)[-1] for f in handle] == ["probes.py"]
+    assert analyze_paths([CORPUS / "transfer_good"]) == []
+
+
+def test_sharedstate_rule_reports_reachability_chain():
+    findings = analyze_paths([CORPUS / "sharedstate_bad"])
+    shared = [f for f in findings if f.rule == "worker-shared-state"]
+    assert len(shared) == 3
+    blob = " | ".join(f.message for f in shared)
+    assert "mutates module global 'RESULTS' in place (.append())" in blob
+    assert "rebinds module global 'TASK_COUNT'" in blob
+    # Cross-file write: retune() mutates the sibling module's dict.
+    assert "writes into module global 'globalstate.SETTINGS'" in blob
+    assert "worker_main -> record" in blob
+    assert analyze_paths([CORPUS / "sharedstate_good"]) == []
+
+
+def test_seedtaint_rule_traces_interprocedural_provenance():
+    findings = analyze_paths([CORPUS / "seedtaint_bad"])
+    taint = [f for f in findings if f.rule == "seed-taint"]
+    assert len(taint) == 3
+    blob = " | ".join(f.message for f in taint)
+    # Two call-graph hops away, in a sibling module.
+    assert "'entropy:session_stamp' via wall_clock_tag" in blob
+    assert "tainted local 'seed'" in blob
+    assert "'os.urandom()' (wall-clock/entropy source)" in blob
+    assert all("ExperimentResult" in f.message for f in taint)
+    assert analyze_paths([CORPUS / "seedtaint_good"]) == []
+
+
+def test_unused_ignore_rule_flags_dead_suppressions():
+    findings = analyze_paths([CORPUS / "suppress_bad.py"])
+    assert [f.rule for f in findings] == ["unused-ignore"] * 3
+    blob = " | ".join(f.message for f in findings)
+    assert "suppresses no units finding" in blob
+    assert "suppresses no determinism finding" in blob
+    assert "suppression names unknown rule 'no-such-rule'" in blob
+
+
+def test_live_suppression_is_not_reported():
+    assert analyze_paths([CORPUS / "suppress_good.py"]) == []
 
 
 def test_default_scan_skips_corpus_directories():
