@@ -1,0 +1,126 @@
+"""Before/after benchmark for the vectorized fleet engine, persisted
+to ``BENCH_fleet.json`` at the repo root.
+
+The *before* case is the honest population-scale baseline: a Python
+loop running one :func:`repro.simulate.cursor_task.
+run_closed_loop_session` per session, each with its own derived
+stream — exactly how PR 8 and earlier would have simulated a cohort.
+The *after* case is :func:`repro.fleet.simulate_cohort`: the same
+number of sessions carried as ``(n_sessions, …)`` batched NumPy state
+with one batched decode per control window.  Bit-level agreement of
+the two paths is asserted separately (tests/fleet/test_parity.py);
+this file measures the speedup on the shipping configuration
+(10k-session Kalman cohort; contract >= 5x, target >= 20x).
+
+Set ``REPRO_BENCH_QUICK=1`` (CI does) for a reduced-size smoke run:
+same comparison and the same JSON shape, fewer sessions and no
+speedup assertion beyond basic sanity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+from pathlib import Path
+
+from repro.decoders import KalmanFilterDecoder
+from repro.fleet import CohortSpec, simulate_cohort
+from repro.obs.manifest import seeded_rng
+from repro.perf.seeds import derive_stream_seed
+from repro.simulate.cursor_task import run_closed_loop_session
+
+#: Where the before/after numbers land (repo root, next to ROADMAP.md).
+BENCH_FLEET_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Fleet-engine contract: the batched cohort must beat the looped
+#: single-session baseline by at least this much at 10k sessions.
+MIN_FLEET_SPEEDUP = 5.0
+
+#: The issue's stated target (recorded in the JSON, not asserted —
+#: host-dependent BLAS throughput decides how far past 5x it lands).
+TARGET_FLEET_SPEEDUP = 20.0
+
+#: Sessions in the measured cohort.
+N_SESSIONS = 256 if QUICK else 10_000
+
+#: Shared session shape (matches the fleet driver's default cohorts).
+SESSION_KW = dict(n_trials=4, train_timesteps=160, timeout_s=2.0,
+                  n_channels=16)
+
+
+def _looped_sessions(n_sessions: int, base_seed: int) -> list:
+    """The before case: one scalar closed-loop session per stream."""
+    spec = CohortSpec(name="bench", **SESSION_KW)
+    outcomes = []
+    for index in range(n_sessions):
+        rng = seeded_rng(derive_stream_seed(base_seed, "bench",
+                                            str(index)))
+        outcomes.append(run_closed_loop_session(
+            KalmanFilterDecoder(), spec.user(), spec.task(), rng,
+            n_trials=spec.n_trials,
+            train_timesteps=spec.train_timesteps))
+    return outcomes
+
+
+def _best_seconds(func, *, repeat: int) -> float:
+    """Minimum wall-clock seconds per call across repeats."""
+    return min(timeit.repeat(func, number=1, repeat=repeat))
+
+
+def test_bench_fleet_cohort():
+    """Time looped scalar sessions vs the batched cohort engine."""
+    spec = CohortSpec(name="bench", n_sessions=N_SESSIONS,
+                      decoder="kalman", **SESSION_KW)
+
+    # The scalar loop is minutes at 10k sessions — time one honest
+    # pass; the fleet path is cheap enough to take the best of three.
+    before = _best_seconds(lambda: _looped_sessions(N_SESSIONS, 7),
+                           repeat=1)
+    after = _best_seconds(lambda: simulate_cohort(spec, 7),
+                          repeat=1 if QUICK else 3)
+
+    sessions = simulate_cohort(spec, 7)
+    assert len(sessions) == N_SESSIONS
+    assert sum(s.hits for s in sessions) > 0
+
+    speedup = before / after if after else float("inf")
+    payload = {
+        "quick": QUICK,
+        "cpus": os.cpu_count() or 1,
+        "entries": [{
+            "name": f"fleet_cohort_{N_SESSIONS}",
+            "before_s": before,
+            "after_s": after,
+            "speedup": speedup,
+            "sessions": N_SESSIONS,
+            "decoder": "kalman",
+            "n_trials": SESSION_KW["n_trials"],
+            "train_timesteps": SESSION_KW["train_timesteps"],
+            "min_speedup": MIN_FLEET_SPEEDUP,
+            "target_speedup": TARGET_FLEET_SPEEDUP,
+        }],
+    }
+    BENCH_FLEET_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    from repro.obs.manifest import build_manifest, write_manifest
+    manifest = build_manifest(
+        "bench_fleet",
+        extra={"quick": QUICK, "sessions": N_SESSIONS,
+               "speedup": round(speedup, 2)})
+    write_manifest(Path("results") / "bench_fleet_manifest.json",
+                   manifest)
+
+    from repro.obs.bench import append_history, history_record
+    append_history(history_record(payload["entries"], quick=QUICK,
+                                  cpus=payload["cpus"]),
+                   Path("results") / "bench_history.jsonl")
+
+    print(f"\nfleet_cohort_{N_SESSIONS}: {before:8.2f} s -> "
+          f"{after:8.3f} s  ({speedup:6.1f}x)")
+    if not QUICK:
+        assert speedup >= MIN_FLEET_SPEEDUP, (
+            f"fleet cohort only {speedup:.1f}x over looped "
+            f"single-session at {N_SESSIONS} sessions")

@@ -258,12 +258,16 @@ def _bench_run_all(entries: list[dict], tmp_path: Path) -> None:
     assert serial_csvs and serial_csvs == parallel_csvs == warm_csvs
 
     cpus = os.cpu_count() or 1
+    # On a single-CPU host jobs=4 cannot beat serial; record the
+    # honest number but tag it gated so the perf-trajectory gate
+    # neither fails on it nor bakes it into a baseline.
+    gated = cpus < 2
     entries.append(_entry("run_all_jobs4", before, after,
                           jobs=jobs, cpus=cpus,
-                          artifacts_identical=True))
+                          artifacts_identical=True, gated=gated))
     entries.append(_entry("run_all_warm_jobs4", before, warm_after,
                           jobs=jobs, cpus=cpus,
-                          artifacts_identical=True))
+                          artifacts_identical=True, gated=gated))
     if not QUICK and cpus >= 2:
         assert before / after >= MIN_RUN_ALL_SPEEDUP, (
             f"run_all(jobs={jobs}) only {before / after:.2f}x "

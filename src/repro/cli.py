@@ -8,6 +8,11 @@ Commands:
   fans the drivers out to a process pool with identical artifacts;
   ``--cache`` replays unchanged drivers from the content-addressed
   result cache (``<output-dir>/.cache``, see :mod:`repro.cache`).
+* ``fleet`` — run the population-scale closed-loop fleet
+  (:mod:`repro.fleet`): vectorized cohorts with per-cohort decoder
+  family, link loss, and tuning drift, written as the cohort dashboard
+  CSV; ``--jobs N`` shards cohorts across the warm worker pool with
+  byte-identical artifacts.
 * ``assess SOC`` — scale one Table 1 design to 1024 channels and print its
   safety report and headline feasibility numbers.
 * ``explore SOC`` — run the full strategy comparison for one design.
@@ -250,6 +255,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"failed={counters['failed']}")
     print(f"chaos report written to {report_path}")
     print(f"fault log written to {log_path}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments import fleet as fleet_driver
+    from repro.obs.events import driver_scope
+    from repro.perf.seeds import derive_driver_seed
+
+    if _jobs_error(args.jobs):
+        return 2
+    try:
+        spec = fleet_driver.default_fleet(sessions=args.sessions,
+                                          decoder=args.decoder)
+    except ValueError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    derived = derive_driver_seed(args.seed, "fleet")
+    with driver_scope("fleet"):
+        start = time.perf_counter()
+        result = fleet_driver.run_spec(spec, base_seed=derived,
+                                       jobs=args.jobs)
+        result.duration_s = time.perf_counter() - start
+    result.seed = args.seed
+    result.derived_seed = derived
+    path = result.save_csv(args.output_dir)
+    if not args.quiet:
+        print(f"== {result.title} ==")
+        print(fleet_driver.render(result))
+        print(f"fleet dashboard written to {path}")
     return 0
 
 
@@ -726,6 +762,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="use this plan instead of the stock chaos plan")
     chaos_cmd.set_defaults(func=_cmd_chaos)
 
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="run the population-scale closed-loop fleet and write "
+             "the cohort dashboard CSV")
+    fleet_cmd.add_argument(
+        "--seed", type=int, default=None,
+        help="base run seed; every cohort stream derives from it and "
+             "the cohort name, so a fixed seed replays the fleet "
+             "byte-identically, serial or --jobs N")
+    fleet_cmd.add_argument(
+        "--sessions", type=int, default=None,
+        help="sessions per cohort (default: the driver's default)")
+    fleet_cmd.add_argument(
+        "--decoder", choices=("kalman", "wiener", "dnn"), default=None,
+        help="keep only default cohorts of this decoder family")
+    fleet_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to shard cohorts across (1 = serial, "
+             "0 = all CPUs); artifacts are byte-identical either way "
+             "for a fixed --seed")
+    fleet_cmd.add_argument("--output-dir",
+                           default=str(DEFAULT_OUTPUT_DIR))
+    fleet_cmd.set_defaults(func=_cmd_fleet)
+
     assess = sub.add_parser("assess",
                             help="scale and safety-check one design")
     assess.add_argument("soc", type=int, help="Table 1 index (1-11)")
@@ -929,9 +989,9 @@ def build_parser() -> argparse.ArgumentParser:
                             default="md")
     obs_report.set_defaults(func=_cmd_obs_report)
 
-    for command in (list_cmd, evaluate, assess, explore_cmd, roadmap_cmd,
-                    validate_cmd, profile_cmd, analyze_cmd, cache_cmd,
-                    chaos_cmd):
+    for command in (list_cmd, evaluate, fleet_cmd, assess, explore_cmd,
+                    roadmap_cmd, validate_cmd, profile_cmd, analyze_cmd,
+                    cache_cmd, chaos_cmd):
         _add_common_flags(command)
     return parser
 

@@ -126,6 +126,65 @@ class KalmanFilterDecoder:
         return float(np.mean(correlations))
 
 
+def closed_loop_gain_batch(a: np.ndarray, w: np.ndarray,
+                           h: np.ndarray, q: np.ndarray,
+                           chunk: int = 512):
+    """Batched one-step closed-loop Kalman operator over sessions.
+
+    The closed-loop session decodes each feature window with a *fresh*
+    :meth:`KalmanFilterDecoder.decode` call (``x = 0``, ``P = I``), so
+    the per-window command is an affine function of the feature that
+    is constant across the session.  This precomputes that operator
+    for a stack of fitted models: decoding observation ``y`` of
+    session ``i`` is then
+
+        ``x_prior[i] + gain[i] @ (y - hx_prior[i])``
+
+    bit-for-bit equal to the scalar decode of a 1-row input, because
+    every matrix product below replays the scalar operation sequence
+    per session slice (batched ``matmul``/``solve`` run the same BLAS
+    and LAPACK kernels slice-by-slice).
+
+    Args:
+        a: (n, k, k) state transitions.
+        w: (n, k, k) process noise covariances.
+        h: (n, m, k) observation matrices.
+        q: (n, m, m) observation noise covariances.
+        chunk: sessions per batched solve (bounds peak memory; the
+            result is independent of the chunking).
+
+    Returns:
+        ``(gain, x_prior, hx_prior)`` with shapes (n, k, m), (n, k),
+        and (n, m).
+    """
+    a = np.asarray(a, dtype=float)
+    w = np.asarray(w, dtype=float)
+    h = np.asarray(h, dtype=float)
+    q = np.asarray(q, dtype=float)
+    n, k, _ = a.shape
+    m = h.shape[1]
+    gain = np.empty((n, k, m))
+    x_prior = np.empty((n, k))
+    hx_prior = np.empty((n, m))
+    with span("decoders.kalman.gain_batch", sessions=n, channels=m):
+        for start in range(0, n, chunk):
+            sl = slice(start, min(start + chunk, n))
+            ac, hc = a[sl], h[sl]
+            # Predict from the reset state, replaying the scalar op
+            # order: x = A @ 0, P = (A @ I) @ A.T + W.
+            x0 = np.matmul(ac, np.zeros((k, 1)))
+            p = np.matmul(np.matmul(ac, np.eye(k)),
+                          np.swapaxes(ac, 1, 2)) + w[sl]
+            s = np.matmul(np.matmul(hc, p),
+                          np.swapaxes(hc, 1, 2)) + q[sl]
+            gain[sl] = np.matmul(np.matmul(p, np.swapaxes(hc, 1, 2)),
+                                 np.linalg.solve(s, np.eye(m)))
+            x_prior[sl] = x0[:, :, 0]
+            hx_prior[sl] = np.matmul(hc, x0)[:, :, 0]
+    inc("decoders.kalman_gain_batches", n)
+    return gain, x_prior, hx_prior
+
+
 def _lstsq(x: np.ndarray, y: np.ndarray, ridge: float) -> np.ndarray:
     """Ridge-regularized least squares solve of x @ B = y."""
     gram = x.T @ x + ridge * np.eye(x.shape[1])

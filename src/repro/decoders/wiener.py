@@ -94,3 +94,31 @@ class WienerFilterDecoder:
             else:
                 correlations.append(float(np.corrcoef(truth, est)[0, 1]))
         return float(np.mean(correlations))
+
+
+def decode_step_batch(weights: np.ndarray, features: np.ndarray,
+                      n_lags: int) -> np.ndarray:
+    """Batched single-window Wiener decode over a stack of sessions.
+
+    The closed-loop session decodes each feature window in isolation
+    (``decode(feature[None, :])``), so the lag history is always the
+    zero padding: the design row is ``[0 … 0, feature, 1.0]``.  This
+    applies that row to every session's readout in one batched matmul,
+    bit-for-bit equal to the scalar per-session decode (the (1, D) @
+    (D, k) product runs the same BLAS kernel per slice).
+
+    Args:
+        weights: (n, n_lags * m + 1, k) stacked fitted readouts.
+        features: (n, m) one feature window per session.
+        n_lags: lag count the readouts were fitted with.
+
+    Returns:
+        (n, k) decoded states.
+    """
+    weights = np.asarray(weights, dtype=float)
+    features = np.asarray(features, dtype=float)
+    n, m = features.shape
+    design = np.zeros((n, 1, weights.shape[1]))
+    design[:, 0, (n_lags - 1) * m:-1] = features
+    design[:, 0, -1] = 1.0
+    return np.matmul(design, weights)[:, 0, :]

@@ -26,6 +26,7 @@ from repro.perf.seeds import derive_driver_seed
 from repro.experiments import (  # noqa: F401 (re-exported driver modules)
     fault_sweep,
     fig4,
+    fleet,
     frontier,
     fig5,
     fig6,
@@ -45,7 +46,7 @@ ALL_EXPERIMENTS = (table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 #: Extension drivers beyond the paper's evaluation (see DESIGN.md);
 #: ``frontier`` stays last (the reporting contract tested in
 #: tests/experiments/test_frontier.py).
-EXTENSION_EXPERIMENTS = (fault_sweep, frontier)
+EXTENSION_EXPERIMENTS = (fault_sweep, fleet, frontier)
 
 #: Schema of a recorded-failure row (a driver that exhausted its retry
 #: budget degrades to this instead of killing the run).

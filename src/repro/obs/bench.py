@@ -60,14 +60,23 @@ def history_record(entries: Iterable[dict[str, Any]],
         quick: whether this was a ``REPRO_BENCH_QUICK`` smoke run.
         cpus: host CPU count (parallel-engine timings scale with it).
         sha: commit id; defaults to the checkout's HEAD.
+
+    Entries tagged ``"gated": true`` (e.g. the parallel-engine pairs
+    measured on a single-CPU host, where ``jobs=4`` cannot beat
+    serial) keep their honest numbers in the history but are excluded
+    from gate baselines and never fail the gate themselves.
     """
+    kernels: dict[str, dict[str, Any]] = {}
+    for entry in entries:
+        record = {"after_s": float(entry["after_s"]),
+                  "speedup": round(float(entry["speedup"]), 4)}
+        if entry.get("gated"):
+            record["gated"] = True
+        kernels[entry["name"]] = record
     return {
         "sha": sha if sha is not None else (git_sha() or "unknown"),
         "config": {"quick": bool(quick), "cpus": int(cpus)},
-        "kernels": {entry["name"]: {
-            "after_s": float(entry["after_s"]),
-            "speedup": round(float(entry["speedup"]), 4),
-        } for entry in entries},
+        "kernels": kernels,
     }
 
 
@@ -103,11 +112,17 @@ def load_history(path: Path | str = DEFAULT_HISTORY_PATH,
 
 def _baseline_s(history: list[dict[str, Any]], kernel: str,
                 config: dict[str, Any], window: int) -> float | None:
-    """Median ``after_s`` of the last ``window`` same-config samples."""
+    """Median ``after_s`` of the last ``window`` same-config samples.
+
+    Gated samples never enter a baseline: a timing recorded on a host
+    that could not exercise the kernel honestly (single-CPU parallel
+    runs) must not become the bar later runs are held to.
+    """
     samples = [record["kernels"][kernel]["after_s"]
                for record in history
                if record.get("config") == config
-               and kernel in record.get("kernels", {})]
+               and kernel in record.get("kernels", {})
+               and not record["kernels"][kernel].get("gated")]
     if not samples:
         return None
     return percentile(samples[-window:], 50)
@@ -133,13 +148,21 @@ def check_regressions(current: dict[str, Any],
         ``baseline_s``, ``ratio``, ``status``) plus ``ok`` — False when
         any kernel regressed.  Kernels without a comparable baseline
         report ``no-baseline`` and never fail the gate (the first run
-        on a new host must pass).
+        on a new host must pass).  Kernels the run itself tagged
+        ``gated`` report ``gated`` and are skipped outright — no
+        comparison, no baseline contribution.
     """
     prior = [record for record in history if record is not current]
     rows = []
     failed = 0
     for kernel in sorted(current.get("kernels", {})):
-        current_s = current["kernels"][kernel]["after_s"]
+        info = current["kernels"][kernel]
+        current_s = info["after_s"]
+        if info.get("gated"):
+            rows.append({"kernel": kernel, "current_s": current_s,
+                         "baseline_s": None, "ratio": None,
+                         "status": "gated"})
+            continue
         baseline = _baseline_s(prior, kernel, current.get("config"),
                                window)
         if baseline is None or baseline <= 0:
@@ -164,9 +187,11 @@ def render_gate(report: dict[str, Any]) -> str:
     lines = []
     for row in report["rows"]:
         if row["baseline_s"] is None:
+            note = ("gated on this host" if row["status"] == "gated"
+                    else "no baseline yet")
             lines.append(f"  {row['kernel']:>24}: "
                          f"{to_ms(row['current_s']):9.3f} ms "
-                         f"(no baseline yet)")
+                         f"({note})")
             continue
         lines.append(f"  {row['kernel']:>24}: "
                      f"{to_ms(row['current_s']):9.3f} ms vs "

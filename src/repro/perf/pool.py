@@ -102,15 +102,21 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
             if kind in ("slow", "hang") and seconds > 0:
                 time.sleep(seconds)
 
-        from repro.experiments import run_module
-        module = importlib.import_module(f"repro.experiments.{name}")
-        if task["cache"]:
-            from repro.cache import run_and_save_cached
-            result = run_and_save_cached(module, task["output_dir"],
-                                         seed=task["seed"])
+        if task.get("kind") == "fleet_cohort":
+            from repro.fleet.engine import run_cohort_task
+            result = run_cohort_task(task)
         else:
-            result = run_module(module, seed=task["seed"])
-            result.save_csv(task["output_dir"])
+            from repro.experiments import run_module
+            module = importlib.import_module(
+                f"repro.experiments.{name}")
+            if task["cache"]:
+                from repro.cache import run_and_save_cached
+                result = run_and_save_cached(module,
+                                             task["output_dir"],
+                                             seed=task["seed"])
+            else:
+                result = run_module(module, seed=task["seed"])
+                result.save_csv(task["output_dir"])
         payload = {
             "name": name,
             "pid": os.getpid(),

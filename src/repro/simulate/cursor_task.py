@@ -231,3 +231,26 @@ def run_closed_loop_session(decoder,
     outcome.mean_path_efficiency = (float(np.mean(efficiencies))
                                     if efficiencies else 0.0)
     return outcome
+
+
+def run_closed_loop_cohort(spec, base_seed=None):
+    """Vectorized cohort form of :func:`run_closed_loop_session`.
+
+    Runs ``spec.n_sessions`` concurrent closed-loop sessions as batched
+    NumPy state (see :mod:`repro.fleet.engine`) and returns the list of
+    per-session :class:`repro.fleet.result.SessionResult`.  A 1-session
+    cohort is bit-exact against :func:`run_closed_loop_session` driven
+    by the same derived cohort stream — that single-session function is
+    the registered parity oracle for the fleet engine.
+    """
+    from repro.fleet.engine import simulate_cohort
+
+    return simulate_cohort(spec, base_seed)
+
+
+#: Batched entry points and the scalar oracles they must match
+#: bit-for-bit (checked by the parity-oracle lint rule and
+#: tests/fleet/test_parity.py).
+PARITY_ORACLES = {
+    "run_closed_loop_cohort": "run_closed_loop_session",
+}

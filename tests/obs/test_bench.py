@@ -147,3 +147,58 @@ class TestCpusConfigKeying:
                                    [legacy] * 5)
         assert report["ok"]
         assert report["rows"][0]["status"] == "no-baseline"
+
+
+class TestGatedEntries:
+    """Entries tagged gated (e.g. parallel benches on a 1-CPU host)
+    skip the gate and never seed baselines."""
+
+    def _gated_record(self, after_s: float, gated: bool = True,
+                      sha: str = "abc") -> dict:
+        entries = [{"name": "run_all_jobs4", "after_s": after_s,
+                    "speedup": 0.9, "gated": gated}]
+        return history_record(entries, quick=False, cpus=1, sha=sha)
+
+    def test_gated_flag_propagates_to_history(self):
+        record = self._gated_record(0.5)
+        assert record["kernels"]["run_all_jobs4"]["gated"] is True
+        ungated = self._gated_record(0.5, gated=False)
+        assert "gated" not in ungated["kernels"]["run_all_jobs4"]
+
+    def test_gated_current_entry_never_fails(self):
+        history = [self._gated_record(0.1) for _ in range(5)]
+        report = check_regressions(self._gated_record(9.9), history)
+        assert report["ok"]
+        assert report["rows"][0]["status"] == "gated"
+        assert report["rows"][0]["baseline_s"] is None
+        assert "gated on this host" in render_gate(report)
+
+    def test_gated_samples_excluded_from_baselines(self):
+        # Five gated (slow, 1-CPU) samples must not become the bar an
+        # ungated run is compared against: with only gated history the
+        # ungated run has no baseline at all.
+        history = [self._gated_record(9.0) for _ in range(5)]
+        report = check_regressions(
+            self._gated_record(0.5, gated=False), history)
+        assert report["ok"]
+        assert report["rows"][0]["status"] == "no-baseline"
+
+    def test_mixed_history_baselines_on_ungated_only(self):
+        history = ([self._gated_record(9.0) for _ in range(3)]
+                   + [self._gated_record(0.5, gated=False)
+                      for _ in range(3)])
+        report = check_regressions(
+            self._gated_record(0.5, gated=False), history)
+        assert report["ok"]
+        row = report["rows"][0]
+        assert row["status"] == "ok"
+        assert row["baseline_s"] == pytest.approx(0.5)
+
+    def test_committed_bench_perf_tags_single_cpu_parallel(self):
+        from pathlib import Path
+        path = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+        data = json.loads(path.read_text())
+        for entry in data["entries"]:
+            if entry["name"].startswith("run_all") and entry.get(
+                    "cpus", data["cpus"]) < 2:
+                assert entry.get("gated") is True
