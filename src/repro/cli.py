@@ -7,7 +7,12 @@ Commands:
   printing each rendering and writing CSVs + run manifests; ``--jobs N``
   fans the drivers out to a process pool with identical artifacts;
   ``--cache`` replays unchanged drivers from the content-addressed
-  result cache (``<output-dir>/.cache``, see :mod:`repro.cache`).
+  result cache (``<output-dir>/.cache``, see :mod:`repro.cache`);
+  ``--dag`` routes ported drivers through their declarative stage graph
+  (:mod:`repro.dag`) with byte-identical artifacts — ``--jobs`` then
+  parallelizes graph nodes and ``--cache`` becomes stage-granular.
+* ``dag show EXPERIMENT`` — print one experiment's declarative stage
+  graph: nodes, dataflow, dependencies, per-node policy (docs/DAG.md).
 * ``fleet`` — run the population-scale closed-loop fleet
   (:mod:`repro.fleet`): vectorized cohorts with per-cohort decoder
   family, link loss, and tuning drift, written as the cohort dashboard
@@ -135,16 +140,18 @@ def _print_fault_summary(injector, results: list,
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     wanted = set(args.names) if args.names else None
-    known = {experiment_name(module): module
-             for module in ALL_EXPERIMENTS}
+    # Extensions are addressable by name; the default (no names) run
+    # stays the paper artifacts only.
+    known = _known_experiments()
     if wanted:
         unknown = wanted - set(known)
         if unknown:
             print(f"unknown experiments: {sorted(unknown)}; "
                   f"available: {sorted(known)}", file=sys.stderr)
             return 2
+    default = {experiment_name(module) for module in ALL_EXPERIMENTS}
     selected = [(name, module) for name, module in known.items()
-                if not wanted or name in wanted]
+                if (name in wanted if wanted else name in default)]
     if _jobs_error(args.jobs):
         return 2
     if args.max_retries < 0:
@@ -166,6 +173,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         max_retries = fault_plan.retry.max_retries
         backoff_s = fault_plan.retry.backoff_s
         timeout_s = fault_plan.retry.timeout_s
+    if args.dag:
+        return _evaluate_dag(args, selected, fault_plan, injector,
+                             max_retries, backoff_s, timeout_s)
     if args.jobs != 1 and len(selected) > 1:
         from repro.perf import run_parallel
         results = run_parallel([module for _, module in selected],
@@ -211,6 +221,75 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         _print_cache_summary(results)
     if injector is not None:
         _print_fault_summary(injector, results, args.output_dir)
+    return 0
+
+
+def _evaluate_dag(args: argparse.Namespace, selected: list,
+                  fault_plan, injector, max_retries: int,
+                  backoff_s: float, timeout_s: float | None) -> int:
+    """``evaluate --dag``: run each driver through its declarative
+    graph (``--jobs`` = node-level parallelism; artifacts byte-identical
+    to the imperative path)."""
+    from repro.dag import has_graph, run_module_dag
+
+    store = None
+    if args.cache:
+        from repro.cache import store_for
+        store = store_for(args.output_dir)
+
+    def dag_runner(module, seed=None):
+        if not has_graph(module):
+            # Drivers without graphs keep their imperative path.
+            return run_module(module, seed=seed)
+        return run_module_dag(module, seed=seed, jobs=args.jobs,
+                              store=store, fault_plan=fault_plan,
+                              injector=injector,
+                              max_retries=max_retries,
+                              backoff_s=backoff_s, timeout_s=timeout_s)
+
+    results = []
+    for _, module in selected:
+        # Node-level retries happen inside the scheduler; a node that
+        # exhausts its budget raises DagNodeError, which degrades here
+        # (max_retries=0: no whole-graph reruns) to the recorded-failure
+        # row naming the failed node.  The injector is not passed down —
+        # the scheduler already accounts the failure.
+        result = run_module_resilient(module, seed=args.seed,
+                                      max_retries=0,
+                                      backoff_s=backoff_s,
+                                      runner=dag_runner)
+        result.save_csv(args.output_dir)
+        results.append(result)
+        if not args.quiet:
+            print(f"== {result.title} ==")
+            print(render_result(module, result))
+            print()
+    if injector is not None:
+        _print_fault_summary(injector, results, args.output_dir)
+    return 0
+
+
+def _cmd_dag_show(args: argparse.Namespace) -> int:
+    from repro.dag import GraphError, graph_for, has_graph
+
+    known = _known_experiments()
+    graphed = sorted(name for name, module in known.items()
+                     if has_graph(module))
+    if args.experiment not in known:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"graphs available: {graphed}", file=sys.stderr)
+        return 2
+    module = known[args.experiment]
+    if not has_graph(module):
+        print(f"{args.experiment} has no experiment graph (imperative "
+              f"driver); graphs available: {graphed}", file=sys.stderr)
+        return 2
+    try:
+        graph = graph_for(module)
+    except GraphError as error:
+        print(f"dag: {error}", file=sys.stderr)
+        return 2
+    print(graph.render())
     return 0
 
 
@@ -739,6 +818,13 @@ def build_parser() -> argparse.ArgumentParser:
              "docs/ROBUSTNESS.md) and apply its retry policy; writes "
              "<output-dir>/fault_log.json")
     evaluate.add_argument(
+        "--dag", action="store_true",
+        help="run each driver through its declarative stage graph "
+             "(repro.dag); --jobs then parallelizes independent graph "
+             "nodes instead of whole drivers, and --cache enables "
+             "stage-granular incremental recompute — artifacts are "
+             "byte-identical to the imperative path")
+    evaluate.add_argument(
         "--max-retries", type=int, default=2,
         help="bounded retry budget per driver; a driver that still "
              "fails degrades to a recorded-failure row (overridden by "
@@ -880,6 +966,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="gc: then remove oldest entries until the store fits")
     cache_cmd.set_defaults(func=_cmd_cache)
+
+    dag_cmd = sub.add_parser(
+        "dag",
+        help="inspect declarative experiment graphs (repro.dag)")
+    dag_sub = dag_cmd.add_subparsers(dest="dag_command", required=True)
+    dag_show = dag_sub.add_parser(
+        "show", help="print one experiment's stage graph: nodes, "
+                     "dataflow, dependencies, per-node policy")
+    dag_show.add_argument("experiment",
+                          help="experiment id (e.g. fig7, fleet)")
+    dag_show.set_defaults(func=_cmd_dag_show)
 
     obs_cmd = sub.add_parser(
         "obs",

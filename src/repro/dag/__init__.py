@@ -1,0 +1,19 @@
+"""Declarative experiment DAGs (the ``repro.dag`` layer).
+
+Experiments are declared as graphs of :class:`Stage` nodes — named
+functions with explicit inputs, outputs, and per-node policy (cache,
+retry, timeout, seed stream) — collected into a validated
+:class:`ExperimentGraph`.  One scheduler (:func:`run_graph` /
+:func:`run_module_dag`) dispatches any valid topological order, serially
+or across the warm worker pool, and produces byte-identical artifacts
+regardless of order or worker count.  See ``docs/DAG.md`` for the node
+contract and migration guide.
+"""
+
+from repro.dag.graph import ExperimentGraph, GraphError
+from repro.dag.node import Stage
+from repro.dag.scheduler import (DagNodeError, graph_for, has_graph,
+                                 run_graph, run_module_dag)
+
+__all__ = ["DagNodeError", "ExperimentGraph", "GraphError", "Stage",
+           "graph_for", "has_graph", "run_graph", "run_module_dag"]

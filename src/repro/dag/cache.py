@@ -1,0 +1,191 @@
+"""Node-level cache keys and output (de)serialization for the DAG
+scheduler.
+
+Stage-granular incremental recompute needs a *per-node* content
+address.  A node's key folds in:
+
+* a three-part source fingerprint (:func:`stage_fingerprint`): the
+  source segment of the stage function itself, the driver module's
+  "shell" (everything outside its top-level function bodies — imports,
+  constants, Stage declarations), and the transitive in-package import
+  closure *excluding* the driver module.  Editing one stage function
+  therefore changes exactly that node's key; editing module constants
+  or an imported ``repro.*`` module invalidates every node of the
+  driver;
+* the keys of the producing nodes for each input (provenance, not
+  values) — so invalidation propagates to descendants without hashing
+  large intermediate values — and a value digest for graph parameters;
+* the node's consts, its injected seed (when seeded), and the
+  environment (:func:`repro.cache.keys.environment_fields`).
+
+Because provenance flows through keys, every node's key is computable
+up front from the graph alone — the scheduler derives all keys before
+dispatch, in any order.
+
+Outputs are stored in the same JSON entry format as the driver/stage
+caches (:mod:`repro.cache.store`): JSON-able values pass through
+:func:`repro.cache.stages.encode_result` (exact ndarray round-trip),
+:class:`~repro.experiments.base.ExperimentResult` uses the driver-cache
+payload codec, and anything else (SoC records, link budgets, fleet
+specs) falls back to pickled bytes in base64.
+"""
+
+from __future__ import annotations
+
+import ast
+import base64
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.engine import AnalysisError
+from repro.cache.fingerprint import (default_root, import_closure,
+                                     module_source_path, source_digest)
+from repro.cache.keys import (KEY_SCHEMA_VERSION, environment_fields,
+                              value_digest)
+from repro.cache.stages import decode_result, encode_result
+
+__all__ = ["NODE_KIND", "decode_outputs", "encode_outputs", "node_key",
+           "stage_fingerprint"]
+
+#: Entry kind recorded for node-cache entries (drives the store's
+#: per-kind ``cache.dag_node.hits`` / ``.puts`` counters).
+NODE_KIND = "dag_node"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def stage_fingerprint(module: str, fn_name: str,
+                      root: Path | None = None) -> dict[str, str]:
+    """Three-part source fingerprint of one stage function.
+
+    Args:
+        module: dotted driver module name
+            (e.g. ``"repro.experiments.fig7"``).
+        fn_name: name of the module-level stage function.
+        root: source root to resolve under (tmp-tree tests pass one);
+            defaults to the imported package's tree.
+
+    Returns:
+        ``{"stage": ..., "shell": ..., "deps": ...}`` hex digests (see
+        the module docstring for what each part covers).
+
+    Raises:
+        AnalysisError: when the module or the function cannot be found.
+    """
+    root = (root or default_root()).resolve()
+    path = module_source_path(module, root)
+    if path is None:
+        raise AnalysisError(f"no source for module {module!r} under "
+                            f"{root}")
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source)
+    lines: list[str | None] = list(source.splitlines())
+    stage_sha = None
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first = min([node.lineno]
+                    + [d.lineno for d in node.decorator_list]) - 1
+        for i in range(first, node.end_lineno):
+            lines[i] = None
+        # Keep a positional marker so reordering functions still
+        # changes the shell.
+        lines[first] = f"<def {node.name}>"
+        if node.name == fn_name:
+            stage_sha = _sha(ast.get_source_segment(source, node) or "")
+    if stage_sha is None:
+        raise AnalysisError(f"module {module!r} has no top-level "
+                            f"function {fn_name!r}")
+    shell_sha = _sha("\n".join(line for line in lines
+                               if line is not None))
+    closure = import_closure(module, root)
+    deps = hashlib.sha256()
+    for name in sorted(closure):
+        if name == module:
+            continue
+        deps.update(f"{name}:{source_digest(closure[name])}\n".encode())
+    return {"stage": stage_sha, "shell": shell_sha,
+            "deps": deps.hexdigest()}
+
+
+def node_key(graph_name: str, node_name: str,
+             fingerprint: Mapping[str, str],
+             inputs: Mapping[str, str],
+             consts: Mapping[str, Any],
+             seed: int | None) -> str:
+    """Content address of one node execution.
+
+    ``inputs`` maps each input name to its provenance digest — the
+    producing node's key, or ``value_digest`` of a graph parameter —
+    so a changed ancestor changes every descendant key.
+    """
+    return value_digest({
+        "schema": KEY_SCHEMA_VERSION,
+        "kind": NODE_KIND,
+        "graph": graph_name,
+        "node": node_name,
+        "fingerprint": dict(fingerprint),
+        "inputs": dict(inputs),
+        "consts": value_digest(dict(consts)),
+        "seed": seed,
+        "env": environment_fields(),
+    })
+
+
+def encode_outputs(outputs: Mapping[str, Any]) -> dict[str, Any]:
+    """JSON-able encoding of a node's output dict (see module
+    docstring for the codec tiers)."""
+    return {name: _encode_value(value)
+            for name, value in outputs.items()}
+
+
+def decode_outputs(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Inverse of :func:`encode_outputs`."""
+    return {name: _decode_value(value)
+            for name, value in payload.items()}
+
+
+def _encode_value(value: Any) -> dict[str, Any]:
+    from repro.experiments.base import ExperimentResult
+
+    if isinstance(value, ExperimentResult):
+        from repro.cache.runner import result_payload
+        return {"__result__": result_payload(value, csv_text="")}
+    if _lossless(value):
+        return {"__json__": encode_result(value)}
+    return {"__pickle__": base64.b64encode(
+        pickle.dumps(value)).decode("ascii")}
+
+
+def _decode_value(record: dict[str, Any]) -> Any:
+    if "__result__" in record:
+        from repro.cache.runner import result_from_payload
+        return result_from_payload(record["__result__"])
+    if "__json__" in record:
+        return decode_result(record["__json__"])
+    return pickle.loads(base64.b64decode(record["__pickle__"]))
+
+
+def _lossless(value: Any) -> bool:
+    """True when the JSON tier round-trips ``value`` exactly.
+
+    Tuples (decoded as lists), non-string dict keys (stringified), and
+    NumPy scalars (decoded as Python scalars) are excluded — they fall
+    through to the pickle tier instead of coming back subtly changed.
+    """
+    import numpy as np
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return not isinstance(value, np.generic)
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, list):
+        return all(_lossless(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(key, str) and _lossless(item)
+                   for key, item in value.items())
+    return False

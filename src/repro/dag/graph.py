@@ -1,0 +1,237 @@
+"""ExperimentGraph: a validated DAG of :class:`repro.dag.node.Stage`.
+
+The graph is declarative data, not behavior: it names the stages, their
+value-level dataflow (who produces what, who consumes it), and the
+tunable parameters the caller may override.  Validation happens at
+construction — duplicate node names, duplicate output producers,
+undeclared inputs, cycles, and stages declared before their producers
+are all rejected with :class:`GraphError` — so a graph that exists can
+always be scheduled.
+
+Declaration order doubles as the *canonical* order: it must itself be a
+valid topological order (drivers naturally write stages in execution
+order), and the scheduler uses it to canonicalize telemetry so every
+valid dispatch order yields the same events.jsonl.  Alternative orders
+for fuzzing come from :meth:`ExperimentGraph.topological_orders` and
+:meth:`ExperimentGraph.random_order` — the latter derives its picks
+from :func:`repro.perf.seeds.derive_stream_seed` rather than an RNG, so
+order generation is itself seed-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.dag.node import SEED_INPUT, Stage
+from repro.perf.seeds import derive_stream_seed
+
+__all__ = ["ExperimentGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """An experiment graph that violates the stage contract."""
+
+
+@dataclass(frozen=True)
+class ExperimentGraph:
+    """A named, validated stage DAG plus its parameter defaults.
+
+    Attributes:
+        name: experiment id (matches the driver module name for graphs
+            built by ``build_graph()``).
+        stages: the nodes, in canonical (declaration) order.
+        params: externally supplied value names with their defaults;
+            the scheduler may override them per run (e.g. the fleet's
+            ``base_seed``).
+    """
+
+    name: str
+    stages: tuple[Stage, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(self, "params", dict(self.params))
+        self._validate()
+
+    # -- validation -------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise GraphError("graph name must be non-empty")
+        if not self.stages:
+            raise GraphError(f"graph {self.name!r} has no stages")
+        seen: set[str] = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise GraphError(f"graph {self.name!r}: duplicate stage "
+                                 f"name {stage.name!r}")
+            seen.add(stage.name)
+        available = set(self.params)
+        if SEED_INPUT in available:
+            raise GraphError(f"graph {self.name!r}: {SEED_INPUT!r} is "
+                             f"reserved for seed injection and cannot be "
+                             f"a parameter")
+        producer: dict[str, str] = {}
+        for stage in self.stages:
+            if SEED_INPUT in stage.inputs or SEED_INPUT in stage.outputs:
+                raise GraphError(
+                    f"graph {self.name!r}: stage {stage.name!r} declares "
+                    f"{SEED_INPUT!r}, which is reserved for seed "
+                    f"injection (use seed_label)")
+            # Declaration order must be a valid topological order: every
+            # input is a param or an output of an *earlier* stage.  This
+            # both rejects cycles/undeclared inputs and fixes the
+            # canonical order the scheduler uses for telemetry.
+            for name in stage.inputs:
+                if name not in available:
+                    raise GraphError(
+                        f"graph {self.name!r}: stage {stage.name!r} reads "
+                        f"{name!r}, which is neither a parameter nor an "
+                        f"output of an earlier stage (undeclared input, "
+                        f"cycle, or out-of-order declaration)")
+            for name in stage.outputs:
+                if name in self.params:
+                    raise GraphError(
+                        f"graph {self.name!r}: stage {stage.name!r} "
+                        f"output {name!r} collides with a parameter")
+                if name in producer:
+                    raise GraphError(
+                        f"graph {self.name!r}: output {name!r} produced "
+                        f"by both {producer[name]!r} and {stage.name!r}")
+                producer[name] = stage.name
+                available.add(name)
+            stage.check_signature()
+
+    # -- structure --------------------------------------------------------
+
+    def stage(self, name: str) -> Stage:
+        """Look one stage up by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"graph {self.name!r} has no stage {name!r}")
+
+    @property
+    def producers(self) -> dict[str, str]:
+        """Output value name -> producing stage name."""
+        out: dict[str, str] = {}
+        for stage in self.stages:
+            for name in stage.outputs:
+                out[name] = stage.name
+        return out
+
+    def dependencies(self, stage: Stage) -> tuple[str, ...]:
+        """Names of the stages whose outputs ``stage`` consumes, in
+        canonical order."""
+        producers = self.producers
+        wanted = {producers[name] for name in stage.inputs
+                  if name in producers}
+        return tuple(s.name for s in self.stages if s.name in wanted)
+
+    def is_valid_order(self, order: Sequence[str]) -> bool:
+        """True when ``order`` is a permutation of the stage names that
+        respects every dataflow edge."""
+        names = [s.name for s in self.stages]
+        if sorted(order) != sorted(names):
+            return False
+        position = {name: i for i, name in enumerate(order)}
+        for stage in self.stages:
+            for dep in self.dependencies(stage):
+                if position[dep] > position[stage.name]:
+                    return False
+        return True
+
+    def topological_order(self) -> tuple[str, ...]:
+        """The canonical order (declaration order, validated topological
+        at construction)."""
+        return tuple(s.name for s in self.stages)
+
+    def topological_orders(self, limit: int = 64) -> Iterator[tuple[str, ...]]:
+        """Enumerate valid topological orders (up to ``limit``).
+
+        Depth-first over the ready set in canonical order; mainly a test
+        utility for small graphs.
+        """
+        deps = {s.name: set(self.dependencies(s)) for s in self.stages}
+        names = [s.name for s in self.stages]
+        emitted = 0
+
+        def walk(prefix: list[str],
+                 done: set[str]) -> Iterator[tuple[str, ...]]:
+            nonlocal emitted
+            if emitted >= limit:
+                return
+            if len(prefix) == len(names):
+                emitted += 1
+                yield tuple(prefix)
+                return
+            for name in names:
+                if name in done or not deps[name] <= done:
+                    continue
+                prefix.append(name)
+                done.add(name)
+                yield from walk(prefix, done)
+                done.remove(name)
+                prefix.pop()
+                if emitted >= limit:
+                    return
+
+        yield from walk([], set())
+
+    def random_order(self, seed: int) -> tuple[str, ...]:
+        """A seed-stable valid topological order.
+
+        Kahn's algorithm with the ready-set pick derived from
+        ``derive_stream_seed(seed, "order", step)`` — no RNG object, so
+        the order depends only on ``seed`` and the graph shape.  Used by
+        the schedule-fuzzing suite.
+        """
+        deps = {s.name: set(self.dependencies(s)) for s in self.stages}
+        remaining = [s.name for s in self.stages]
+        done: set[str] = set()
+        order: list[str] = []
+        step = 0
+        while remaining:
+            ready = [name for name in remaining if deps[name] <= done]
+            pick = ready[derive_stream_seed(seed, "order", str(step))
+                         % len(ready)]
+            remaining.remove(pick)
+            done.add(pick)
+            order.append(pick)
+            step += 1
+        return tuple(order)
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable graph listing (the ``dag show`` CLI output)."""
+        lines = [f"experiment {self.name}: {len(self.stages)} stage(s)"]
+        if self.params:
+            pairs = ", ".join(f"{k}={v!r}"
+                              for k, v in sorted(self.params.items()))
+            lines.append(f"  params: {pairs}")
+        for stage in self.stages:
+            ins = ", ".join(stage.inputs) or "-"
+            outs = ", ".join(stage.outputs) or "-"
+            lines.append(f"  {stage.name}: [{ins}] -> [{outs}]")
+            deps = self.dependencies(stage)
+            if deps:
+                lines.append(f"    after: {', '.join(deps)}")
+            flags = []
+            if stage.consts:
+                pairs = ", ".join(f"{k}={v!r}" for k, v
+                                  in sorted(stage.consts.items()))
+                flags.append(f"consts({pairs})")
+            if stage.seed_label is not None:
+                flags.append(f"seed:{stage.seed_label}")
+            if not stage.cache:
+                flags.append("nocache")
+            if stage.retry is not None:
+                flags.append(f"retry={stage.retry}")
+            if stage.timeout_s is not None:
+                flags.append(f"timeout={stage.timeout_s:g}s")
+            if flags:
+                lines.append(f"    policy: {', '.join(flags)}")
+        return "\n".join(lines)

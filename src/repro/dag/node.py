@@ -1,0 +1,152 @@
+"""Stage: one node of a declarative experiment graph.
+
+A stage wraps a plain module-level function with a *contract*: the
+value names it consumes (``inputs``), the value names it produces
+(``outputs``), fixed per-node constants (``consts``), and the per-node
+policies the scheduler applies on its behalf — caching
+(:mod:`repro.cache`), bounded retries and timeouts
+(:mod:`repro.fault`), and a derived seed stream
+(:func:`repro.perf.seeds.derive_stream_seed`).
+
+The function itself stays ordinary Python: it takes its inputs (plus
+consts, plus ``seed`` when ``seed_label`` is set) as keyword arguments
+and returns a dict mapping each declared output name to its value.
+Because the contract is declared, the scheduler can dispatch stages in
+any valid topological order — or across the warm worker pool — and the
+static analyzer (``experiment-contract`` rule) can check declared
+inputs/outputs against what the function actually reads and returns.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["Stage"]
+
+#: Input name the scheduler injects for seeded stages; stages may not
+#: declare it themselves.
+SEED_INPUT = "seed"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of an :class:`repro.dag.ExperimentGraph`.
+
+    Attributes:
+        name: node id, unique within its graph.
+        fn: module-level function implementing the stage.  Must be
+            importable from the driver module (workers re-resolve it by
+            name), accept ``inputs`` + ``consts`` (+ ``seed`` when
+            ``seed_label`` is set) as keyword arguments, and return a
+            dict with exactly the declared ``outputs`` as keys.
+        inputs: value names consumed, each produced by an earlier stage
+            or declared as a graph parameter.
+        outputs: value names produced; unique across the graph.
+        consts: fixed keyword arguments bound at graph build time
+            (how one function fans out into several nodes, e.g. one
+            explore node per SoC).
+        seed_label: when set, the scheduler passes
+            ``seed=derive_stream_seed(base, "dag", seed_label)`` — a
+            stream independent of dispatch order, so any valid
+            topological order replays identically.
+        cache: opt the node into stage-granular incremental recompute
+            when the scheduler runs with a cache store.
+        retry: extra attempts after a failure (None = the engine
+            default / fault-plan retry budget).
+        timeout_s: per-attempt wall-clock bound (pool dispatch only; a
+            serial scheduler cannot preempt).  None = engine default.
+    """
+
+    name: str
+    fn: Callable[..., Mapping[str, Any]]
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    consts: Mapping[str, Any] = field(default_factory=dict)
+    seed_label: str | None = None
+    cache: bool = True
+    retry: int | None = None
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        object.__setattr__(self, "consts", dict(self.consts))
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        if not callable(self.fn):
+            raise TypeError(f"stage {self.name!r}: fn is not callable")
+        if self.retry is not None and self.retry < 0:
+            raise ValueError(f"stage {self.name!r}: retry must be >= 0")
+
+    @property
+    def wants_seed(self) -> bool:
+        """True when the scheduler injects a derived ``seed`` kwarg."""
+        return self.seed_label is not None
+
+    def call_kwargs(self, values: Mapping[str, Any],
+                    seed: int | None = None) -> dict[str, Any]:
+        """Assemble the keyword arguments for one execution.
+
+        ``values`` is the scheduler's name -> value environment; the
+        stage picks out its declared inputs, binds its consts, and adds
+        the injected seed when :attr:`wants_seed`.
+        """
+        kwargs = {name: values[name] for name in self.inputs}
+        kwargs.update(self.consts)
+        if self.wants_seed:
+            kwargs[SEED_INPUT] = seed
+        return kwargs
+
+    def check_signature(self) -> None:
+        """Validate the contract against ``fn``'s actual signature.
+
+        Every declared input/const (and the injected seed) must be an
+        accepted parameter, and every required parameter must be
+        covered — unless the function takes ``**kwargs``, which opts it
+        out of the static half of the contract (runtime output checking
+        still applies).
+        """
+        signature = inspect.signature(self.fn)
+        params = signature.parameters
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in params.values()):
+            return
+        accepted = {name for name, p in params.items()
+                    if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                  inspect.Parameter.KEYWORD_ONLY)}
+        provided = set(self.inputs) | set(self.consts)
+        if self.wants_seed:
+            provided.add(SEED_INPUT)
+        unknown = sorted(provided - accepted)
+        if unknown:
+            raise TypeError(
+                f"stage {self.name!r}: declared values {unknown} are not "
+                f"parameters of {self.fn.__name__}()")
+        required = {name for name, p in params.items()
+                    if p.default is inspect.Parameter.empty
+                    and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                   inspect.Parameter.KEYWORD_ONLY)}
+        missing = sorted(required - provided)
+        if missing:
+            raise TypeError(
+                f"stage {self.name!r}: required parameters {missing} of "
+                f"{self.fn.__name__}() are not declared as inputs or "
+                f"consts")
+
+    def check_outputs(self, produced: Mapping[str, Any]) -> None:
+        """Runtime half of the contract: returned keys must equal the
+        declared outputs exactly."""
+        if not isinstance(produced, Mapping):
+            raise TypeError(
+                f"stage {self.name!r}: fn must return a dict of outputs, "
+                f"got {type(produced).__name__}")
+        got = set(produced)
+        declared = set(self.outputs)
+        if got != declared:
+            extra = sorted(got - declared)
+            missing = sorted(declared - got)
+            raise ValueError(
+                f"stage {self.name!r}: returned outputs do not match the "
+                f"declaration (missing={missing}, undeclared={extra})")

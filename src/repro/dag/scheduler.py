@@ -1,0 +1,659 @@
+"""Topological dispatch of experiment graphs — serial or warm-pool.
+
+One scheduler runs every :class:`~repro.dag.graph.ExperimentGraph`:
+
+* **any valid order, one timeline** — the caller may supply any valid
+  topological order (the schedule-fuzzing suite does); per-node events
+  and spans are captured into per-node blocks as nodes run
+  (:meth:`repro.obs.events.EventLog.export_tail` /
+  :meth:`~repro.obs.events.EventLog.truncate`) and re-adopted in the
+  graph's canonical declaration order at the end, so ``events.jsonl``
+  is byte-identical regardless of dispatch order or worker count;
+* **seeds are order-independent** — a seeded node receives
+  ``derive_stream_seed(base, "dag", seed_label)``, a stream that
+  depends only on the base seed and the label, never on when or where
+  the node runs;
+* **stage-granular recompute** — with a cache store attached, each
+  node gets a content address (:mod:`repro.dag.cache`); hits replay
+  decoded outputs parent-side, misses publish for the next run, and
+  editing one stage function invalidates exactly that node and its
+  descendants;
+* **per-node fault policy** — worker faults from a
+  :class:`repro.fault.plan.FaultPlan` keyed ``"<graph>.<node>"`` are
+  injected per attempt, retries are bounded (node ``retry`` overrides
+  the engine/plan budget), and an exhausted node raises
+  :class:`DagNodeError`, which the driver-level
+  :func:`repro.experiments.run_module_resilient` wrapper degrades to a
+  recorded-failure row;
+* **pool dispatch** — with ``jobs > 1``, ready nodes fan out to the
+  persistent :class:`repro.perf.pool.WarmPool` as ``"dag_node"`` tasks
+  (payloads come back over the shared-memory transport); nodes whose
+  function is not importable by name fall back to in-parent execution.
+
+Scheduler bookkeeping counters (``dag.node_runs[.<graph>.<node>]``,
+``dag.node_retries``, ``dag.node_failures``, ``cache.node_hits`` /
+``cache.node_misses`` and their per-node variants) go to the metrics
+registry directly, bypassing the event-emitting helpers — a DAG run of
+an uncached graph therefore emits *exactly* the events its stages emit,
+which is what keeps it byte-identical to the imperative driver.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.cache.keys import value_digest
+from repro.cache.store import CacheStore
+from repro.dag.cache import (NODE_KIND, decode_outputs, encode_outputs,
+                             node_key, stage_fingerprint)
+from repro.dag.graph import ExperimentGraph, GraphError
+from repro.dag.node import Stage
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.events import driver_scope, emit as emit_event
+from repro.obs.trace import span, span_from_dict
+from repro.perf.seeds import derive_stream_seed
+
+__all__ = ["DagNodeError", "graph_for", "has_graph", "run_graph",
+           "run_module_dag", "run_node_task"]
+
+
+class DagNodeError(RuntimeError):
+    """A node exhausted its retry budget.
+
+    Carries enough context for the recorded-failure degradation row the
+    driver-level resilient wrapper writes.
+    """
+
+    def __init__(self, graph: str, node: str, attempts: int,
+                 error: str) -> None:
+        self.graph = graph
+        self.node = node
+        self.attempts = attempts
+        self.error = error
+        super().__init__(f"node {graph}.{node} failed after {attempts} "
+                         f"attempt(s): {error}")
+
+
+def has_graph(module: ModuleType) -> bool:
+    """True when a driver module exposes a ``build_graph()`` factory."""
+    return callable(getattr(module, "build_graph", None))
+
+
+def graph_for(module: ModuleType) -> ExperimentGraph:
+    """The driver's declarative graph (``module.build_graph()``)."""
+    if not has_graph(module):
+        raise GraphError(f"module {module.__name__!r} declares no "
+                         f"experiment graph (no build_graph())")
+    graph = module.build_graph()
+    if not isinstance(graph, ExperimentGraph):
+        raise GraphError(f"{module.__name__}.build_graph() returned "
+                         f"{type(graph).__name__}, not ExperimentGraph")
+    return graph
+
+
+def run_node_task(task: Mapping[str, Any]) -> Any:
+    """Worker side of one ``"dag_node"`` pool task.
+
+    Re-resolves the stage function by module + name (functions do not
+    pickle across the task pipe), runs it under the experiment's driver
+    scope, and wraps the output dict in an
+    :class:`~repro.experiments.base.ExperimentResult` shell so the
+    shared-memory transport (:mod:`repro.perf.shm`) can carry it —
+    outputs ride in the pickled summary block.
+    """
+    import importlib
+
+    from repro.experiments.base import ExperimentResult
+
+    module = importlib.import_module(task["module"])
+    fn = getattr(module, task["fn"])
+    kwargs = dict(task["inputs"])
+    kwargs.update(task["consts"])
+    if task["inject_seed"]:
+        kwargs["seed"] = task["seed"]
+    with driver_scope(task["driver"]):
+        outputs = fn(**kwargs)
+    if not isinstance(outputs, Mapping):
+        raise TypeError(f"dag node {task['name']}: fn returned "
+                        f"{type(outputs).__name__}, expected a dict of "
+                        f"outputs")
+    return ExperimentResult(name=task["name"],
+                            title=f"dag node {task['name']}",
+                            rows=[], summary={"outputs": dict(outputs)})
+
+
+def run_graph(graph: ExperimentGraph,
+              overrides: Mapping[str, Any] | None = None,
+              *,
+              jobs: int = 1,
+              order: Sequence[str] | None = None,
+              base_seed: int | None = None,
+              store: CacheStore | None = None,
+              source_root: Path | None = None,
+              driver: str | None = None,
+              fault_plan: Any = None,
+              injector: Any = None,
+              max_retries: int | None = None,
+              backoff_s: float | None = None,
+              timeout_s: float | None = None,
+              parent_span: Any = None) -> dict[str, Any]:
+    """Execute a graph and return its full value environment.
+
+    Args:
+        graph: the validated stage DAG.
+        overrides: per-run values for declared graph parameters.
+        jobs: 1 = serial in-process; >1 = ready nodes fan out to the
+            warm pool.
+        order: dispatch order (any valid topological order); defaults
+            to the canonical declaration order.  Artifacts and
+            timelines do not depend on it.
+        base_seed: base of the per-node seed streams
+            (``derive_stream_seed(base_seed, "dag", seed_label)``).
+        store: cache store for stage-granular incremental recompute;
+            None disables node caching.
+        source_root: source tree node fingerprints resolve against
+            (tmp-tree invalidation tests pass one).
+        driver: driver tag for worker-side event scoping; defaults to
+            the graph name.
+        fault_plan: optional :class:`repro.fault.plan.FaultPlan`;
+            worker faults are keyed ``"<graph>.<node>"`` and its retry
+            policy fills unset ``max_retries``/``backoff_s``/
+            ``timeout_s``.
+        injector: optional fault-accounting injector (created from the
+            plan when omitted).
+        max_retries: default extra attempts per node (node ``retry``
+            overrides; engine default 2).
+        backoff_s: exponential-backoff base between attempts
+            (default 0.25).
+        timeout_s: default per-attempt wall-clock bound (pool dispatch
+            only; node ``timeout_s`` overrides).
+        parent_span: open span node telemetry reattaches under (the
+            ``experiment.<name>`` span in :func:`run_module_dag`).
+
+    Returns:
+        ``{name: value}`` for every parameter and produced output.
+
+    Raises:
+        GraphError: unknown override, invalid order, or a node whose
+            returned outputs violate its declaration.
+        DagNodeError: a node failed beyond its retry budget.
+    """
+    values = dict(graph.params)
+    for name, value in (overrides or {}).items():
+        if name not in graph.params:
+            raise GraphError(f"graph {graph.name!r} has no parameter "
+                             f"{name!r}")
+        values[name] = value
+    schedule = (tuple(order) if order is not None
+                else graph.topological_order())
+    if not graph.is_valid_order(schedule):
+        raise GraphError(f"graph {graph.name!r}: {list(schedule)} is not "
+                         f"a valid topological order")
+    if fault_plan is not None:
+        if max_retries is None:
+            max_retries = fault_plan.retry.max_retries
+        if backoff_s is None:
+            backoff_s = fault_plan.retry.backoff_s
+        if timeout_s is None:
+            timeout_s = fault_plan.retry.timeout_s
+        if injector is None:
+            from repro.fault.injector import FaultInjector
+            injector = FaultInjector(fault_plan)
+    run = _GraphRun(graph=graph, values=values, schedule=schedule,
+                    jobs=jobs, base_seed=base_seed, store=store,
+                    source_root=source_root,
+                    driver=driver or graph.name, plan=fault_plan,
+                    injector=injector,
+                    max_retries=2 if max_retries is None else max_retries,
+                    backoff_s=0.25 if backoff_s is None else backoff_s,
+                    timeout_s=timeout_s, parent_span=parent_span)
+    return run.execute()
+
+
+def run_module_dag(module: ModuleType,
+                   seed: int | None = None,
+                   *,
+                   jobs: int = 1,
+                   order: Sequence[str] | None = None,
+                   store: CacheStore | None = None,
+                   source_root: Path | None = None,
+                   fault_plan: Any = None,
+                   injector: Any = None,
+                   max_retries: int | None = None,
+                   backoff_s: float | None = None,
+                   timeout_s: float | None = None) -> Any:
+    """Run one ported driver through its graph — the DAG counterpart of
+    :func:`repro.experiments.run_module`, with identical artifacts.
+
+    Seed handling mirrors the imperative path exactly: the driver seed
+    derives from ``(seed, name)``, is installed as the process run seed
+    for the duration, and — for graphs declaring a ``base_seed``
+    parameter (the fleet) — is passed in as that parameter, just as
+    ``run_module`` forwards ``seed`` to drivers that accept it.
+    """
+    from repro.experiments import experiment_name
+    from repro.obs.manifest import current_seed, set_run_seed
+
+    name = experiment_name(module)
+    graph = graph_for(module)
+    if seed is None:
+        seed = current_seed()
+    driver_seed = derive_stream_seed(seed, name)
+    overrides: dict[str, Any] = {}
+    if driver_seed is not None and "base_seed" in graph.params:
+        overrides["base_seed"] = driver_seed
+    previous_seed = current_seed()
+    if driver_seed is not None:
+        set_run_seed(driver_seed)
+    try:
+        with driver_scope(name):
+            start = time.perf_counter()
+            with span(f"experiment.{name}") as parent:
+                environment = run_graph(
+                    graph, overrides=overrides, jobs=jobs, order=order,
+                    base_seed=driver_seed, store=store,
+                    source_root=source_root, driver=name,
+                    fault_plan=fault_plan, injector=injector,
+                    max_retries=max_retries, backoff_s=backoff_s,
+                    timeout_s=timeout_s, parent_span=parent)
+            result = environment.get("result")
+            if result is None:
+                raise GraphError(f"graph {graph.name!r} produced no "
+                                 f"'result' output")
+            result.duration_s = time.perf_counter() - start
+            _metrics.inc("experiments.runs")
+    finally:
+        if driver_seed is not None:
+            set_run_seed(previous_seed)
+    result.seed = seed
+    result.derived_seed = driver_seed
+    return result
+
+
+class _GraphRun:
+    """State of one scheduled graph execution (see :func:`run_graph`)."""
+
+    def __init__(self, graph: ExperimentGraph, values: dict[str, Any],
+                 schedule: tuple[str, ...], jobs: int,
+                 base_seed: int | None, store: CacheStore | None,
+                 source_root: Path | None, driver: str, plan: Any,
+                 injector: Any, max_retries: int, backoff_s: float,
+                 timeout_s: float | None, parent_span: Any) -> None:
+        self.graph = graph
+        self.values = values
+        self.schedule = schedule
+        self.jobs = jobs
+        self.base_seed = base_seed
+        self.store = store
+        self.source_root = source_root
+        self.driver = driver
+        self.plan = plan
+        self.injector = injector
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.events_on = _events.events_enabled()
+        self.parent_children = getattr(parent_span, "children", None)
+        self.keys = self._compute_keys()
+        self.block_events: dict[str, list[dict[str, Any]]] = {}
+        self.block_spans: dict[str, list[Any]] = {}
+        self.block_metrics: dict[str, list[dict[str, Any]]] = {}
+
+    # -- shared plumbing --------------------------------------------------
+
+    def task_name(self, stage: Stage) -> str:
+        return f"{self.graph.name}.{stage.name}"
+
+    def node_seed(self, stage: Stage) -> int | None:
+        if not stage.wants_seed:
+            return None
+        return derive_stream_seed(self.base_seed, "dag",
+                                  stage.seed_label)
+
+    def node_budget(self, stage: Stage) -> int:
+        return (stage.retry if stage.retry is not None
+                else self.max_retries)
+
+    def node_timeout(self, stage: Stage) -> float | None:
+        return (stage.timeout_s if stage.timeout_s is not None
+                else self.timeout_s)
+
+    def _compute_keys(self) -> dict[str, str]:
+        """Every node's content address, derived up front (provenance
+        flows through keys, so no values are needed)."""
+        if self.store is None:
+            return {}
+        provenance = {name: value_digest(self.values[name])
+                      for name in self.graph.params}
+        keys: dict[str, str] = {}
+        for stage in self.graph.stages:
+            fp = stage_fingerprint(stage.fn.__module__,
+                                   stage.fn.__name__,
+                                   root=self.source_root)
+            key = node_key(self.graph.name, stage.name, fp,
+                           {name: provenance[name]
+                            for name in stage.inputs},
+                           stage.consts, self.node_seed(stage))
+            keys[stage.name] = key
+            for out in stage.outputs:
+                provenance[out] = key
+        return keys
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        """Registry-direct counter (never emits an event — scheduler
+        bookkeeping must not perturb the stage-only timeline)."""
+        if _metrics.metrics_enabled():
+            _metrics.REGISTRY.inc(name, value)
+
+    def _count_run(self, stage: Stage) -> None:
+        self._count("dag.node_runs")
+        self._count(f"dag.node_runs.{self.task_name(stage)}")
+
+    def _count_cache(self, stage: Stage, hit: bool) -> None:
+        which = "hits" if hit else "misses"
+        self._count(f"cache.node_{which}")
+        self._count(f"cache.node_{which}.{self.task_name(stage)}")
+
+    @contextlib.contextmanager
+    def _capture(self, name: str) -> Iterator[None]:
+        """Capture events (and spans under the parent) emitted in the
+        block into the node's telemetry block."""
+        event_mark = len(_events.EVENTS) if self.events_on else 0
+        span_mark = (len(self.parent_children)
+                     if self.parent_children is not None else 0)
+        try:
+            yield
+        finally:
+            if self.events_on:
+                tail = _events.EVENTS.export_tail(event_mark)
+                if tail:
+                    self.block_events.setdefault(name, []).extend(tail)
+                    _events.EVENTS.truncate(event_mark)
+            if self.parent_children is not None:
+                fresh = self.parent_children[span_mark:]
+                if fresh:
+                    self.block_spans.setdefault(name, []).extend(fresh)
+                    del self.parent_children[span_mark:]
+
+    def _flush(self) -> None:
+        """Re-adopt every captured block in canonical declaration order
+        — the step that makes any dispatch order serialize the same."""
+        for stage in self.graph.stages:
+            spans = self.block_spans.get(stage.name)
+            if spans:
+                if self.parent_children is not None:
+                    self.parent_children.extend(spans)
+                else:
+                    _trace.TRACER.adopt(spans)
+            for state in self.block_metrics.get(stage.name, ()):
+                _metrics.REGISTRY.merge_state(state)
+            if self.events_on:
+                records = self.block_events.get(stage.name)
+                if records:
+                    _events.EVENTS.adopt(records)
+        self.block_events.clear()
+        self.block_spans.clear()
+        self.block_metrics.clear()
+
+    def _node_failed(self, stage: Stage, attempts: int,
+                     error: str) -> None:
+        if self.injector is not None:
+            self.injector.record_failed("worker",
+                                        target=self.task_name(stage),
+                                        attempts=attempts)
+        raise DagNodeError(self.graph.name, stage.name, attempts, error)
+
+    def _apply_plan_fault(self, stage: Stage, attempt: int) -> None:
+        """Serial-path fault injection (crash raises; slow/hang sleep —
+        an in-process scheduler cannot preempt)."""
+        if self.plan is None:
+            return
+        name = self.task_name(stage)
+        kind, seconds = self.plan.worker.fault_for(name, attempt)
+        if kind is None:
+            return
+        if self.injector is not None:
+            self.injector.record_worker_fault(name, attempt, kind,
+                                              seconds=seconds)
+        if kind == "crash":
+            from repro.fault.plan import InjectedWorkerFault
+            raise InjectedWorkerFault(name, attempt)
+        if kind in ("slow", "hang") and seconds > 0:
+            time.sleep(seconds)
+
+    def _record_plan_fault(self, stage: Stage, attempt: int) -> None:
+        """Pool-path fault accounting (the worker applies the fault
+        itself, deterministically from the same plan)."""
+        if self.plan is None or self.injector is None:
+            return
+        name = self.task_name(stage)
+        kind, seconds = self.plan.worker.fault_for(name, attempt)
+        if kind is not None:
+            self.injector.record_worker_fault(name, attempt, kind,
+                                              seconds=seconds)
+
+    # -- cache ------------------------------------------------------------
+
+    def _cache_lookup(self, stage: Stage) -> bool:
+        """Probe the node cache; on a hit, install the decoded outputs.
+        Emits hit/miss events inside the caller's capture block."""
+        key = self.keys.get(stage.name)
+        if key is None or not stage.cache:
+            return False
+        entry = self.store.get(key)
+        name = self.task_name(stage)
+        if entry is None:
+            self._count_cache(stage, hit=False)
+            emit_event("cache", "node.miss", node=name, key=key[:12])
+            return False
+        self._count_cache(stage, hit=True)
+        emit_event("cache", "node.hit", node=name, key=key[:12])
+        outputs = decode_outputs(entry["payload"]["outputs"])
+        stage.check_outputs(outputs)
+        self.values.update(outputs)
+        return True
+
+    def _cache_publish(self, stage: Stage,
+                       outputs: Mapping[str, Any]) -> None:
+        key = self.keys.get(stage.name)
+        if key is None or not stage.cache:
+            return
+        self.store.put(key, {"outputs": encode_outputs(outputs)},
+                       kind=NODE_KIND, label=self.task_name(stage))
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self) -> dict[str, Any]:
+        try:
+            if self.jobs > 1:
+                self._run_pool()
+            else:
+                self._run_serial()
+        finally:
+            # Completed blocks flush even when a node failed, so a
+            # degraded run's timeline is still deterministic.
+            self._flush()
+        return self.values
+
+    def _run_serial(self) -> None:
+        for name in self.schedule:
+            stage = self.graph.stage(name)
+            with self._capture(name):
+                if self._cache_lookup(stage):
+                    continue
+                outputs = self._execute_in_process(stage)
+                stage.check_outputs(outputs)
+                self.values.update(outputs)
+                self._cache_publish(stage, outputs)
+
+    def _execute_in_process(self, stage: Stage) -> Mapping[str, Any]:
+        """Bounded-retry in-process execution of one node."""
+        budget = self.node_budget(stage)
+        error_text = ""
+        for attempt in range(budget + 1):
+            if attempt > 0:
+                if self.backoff_s > 0:
+                    time.sleep(self.backoff_s * 2.0 ** (attempt - 1))
+                self._count("dag.node_retries")
+            self._count_run(stage)
+            try:
+                self._apply_plan_fault(stage, attempt)
+                outputs = stage.fn(**stage.call_kwargs(
+                    self.values, seed=self.node_seed(stage)))
+            except Exception as error:
+                self._count("dag.node_failures")
+                error_text = f"{type(error).__name__}: {error}"
+                continue
+            if attempt > 0 and self.injector is not None:
+                self.injector.record_recovered(
+                    "worker", target=self.task_name(stage),
+                    attempts=attempt + 1)
+            return outputs
+        self._node_failed(stage, budget + 1, error_text)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- pool dispatch ----------------------------------------------------
+
+    def _pool_safe(self, stage: Stage) -> bool:
+        """True when the worker can re-resolve ``fn`` by name (a
+        module-level function); closures fall back to in-parent runs."""
+        import sys
+
+        module = sys.modules.get(stage.fn.__module__)
+        return (module is not None
+                and getattr(module, stage.fn.__name__, None)
+                is stage.fn)
+
+    def _run_pool(self) -> None:
+        from repro.perf import shm as _shm
+        from repro.perf.pool import PoolTaskError, get_pool
+
+        pool = get_pool(self.jobs)
+        plan_record = (self.plan.to_dict()
+                       if self.plan is not None else None)
+        trace_on = _trace.tracing_enabled()
+        metrics_on = _metrics.metrics_enabled()
+
+        pending: dict[str, int] = {}
+        done: set[str] = set()
+
+        def submit(stage: Stage, attempt: int) -> None:
+            self._record_plan_fault(stage, attempt)
+            self._count_run(stage)
+            task = {
+                "kind": "dag_node",
+                "name": self.task_name(stage),
+                "driver": self.driver,
+                "module": stage.fn.__module__,
+                "fn": stage.fn.__name__,
+                "inputs": {name: self.values[name]
+                           for name in stage.inputs},
+                "consts": dict(stage.consts),
+                "inject_seed": stage.wants_seed,
+                "seed": self.node_seed(stage),
+                "cache": False,
+                "output_dir": "",
+                "plan": plan_record,
+                "attempt": attempt,
+                "trace_on": trace_on,
+                "metrics_on": metrics_on,
+                "events_on": self.events_on,
+                "shm_min_bytes": _shm.SHM_MIN_BYTES,
+            }
+            pending[stage.name] = pool.submit(task)
+
+        def start_ready() -> None:
+            """Submit (or locally resolve) every node whose inputs are
+            available; cache hits complete inline and may unlock more."""
+            progressed = True
+            while progressed:
+                progressed = False
+                for name in self.schedule:
+                    if name in done or name in pending:
+                        continue
+                    stage = self.graph.stage(name)
+                    if any(dep not in done
+                           for dep in self.graph.dependencies(stage)):
+                        continue
+                    if self.store is not None:
+                        hit = False
+                        with self._capture(name):
+                            hit = self._cache_lookup(stage)
+                        if hit:
+                            done.add(name)
+                            progressed = True
+                            continue
+                    if not self._pool_safe(stage):
+                        with self._capture(name):
+                            outputs = self._execute_in_process(stage)
+                            stage.check_outputs(outputs)
+                            self.values.update(outputs)
+                            self._cache_publish(stage, outputs)
+                        done.add(name)
+                        progressed = True
+                        continue
+                    submit(stage, 0)
+
+        start_ready()
+        for name in self.schedule:
+            if name in done:
+                continue
+            stage = self.graph.stage(name)
+            if name not in pending:
+                start_ready()
+            if name in done:
+                continue
+            payload = None
+            error_text = ""
+            attempts_used = 0
+            budget = self.node_budget(stage)
+            for attempt in range(budget + 1):
+                attempts_used = attempt + 1
+                if attempt > 0:
+                    if self.backoff_s > 0:
+                        time.sleep(self.backoff_s * 2.0 ** (attempt - 1))
+                    self._count("dag.node_retries")
+                    submit(stage, attempt)
+                elif name not in pending:
+                    submit(stage, 0)
+                task_id = pending[name]
+                try:
+                    header = pool.wait(
+                        task_id, timeout_s=self.node_timeout(stage))
+                except PoolTaskError as error:
+                    self._count("dag.node_failures")
+                    error_text = str(error)
+                    continue
+                payload = _shm.unpack_payload(header)
+                pool.release(task_id)
+                break
+            pending.pop(name, None)
+            if payload is None:
+                self._node_failed(stage, attempts_used, error_text)
+            outputs = dict(payload["result"].summary["outputs"])
+            stage.check_outputs(outputs)
+            if payload.get("events"):
+                self.block_events.setdefault(name, []).extend(
+                    payload["events"])
+            if payload.get("spans"):
+                self.block_spans.setdefault(name, []).extend(
+                    span_from_dict(record)
+                    for record in payload["spans"])
+            if payload.get("metrics"):
+                self.block_metrics.setdefault(name, []).append(
+                    payload["metrics"])
+            if attempts_used > 1 and self.injector is not None:
+                self.injector.record_recovered(
+                    "worker", target=self.task_name(stage),
+                    attempts=attempts_used)
+            self.values.update(outputs)
+            done.add(name)
+            with self._capture(name):
+                self._cache_publish(stage, outputs)
+            start_ready()

@@ -105,8 +105,12 @@ class EventLog:
 
     # -- emission ---------------------------------------------------------
 
-    def emit(self, kind: str, name: str, **attrs: Any) -> Event:
-        """Append one event under the current driver scope."""
+    def emit(self, kind: str, name: str, /, **attrs: Any) -> Event:
+        """Append one event under the current driver scope.
+
+        ``kind`` and ``name`` are positional-only so attrs may reuse
+        those words (e.g. the ``cache.put`` span's ``kind=`` attr).
+        """
         with self._lock:
             event = Event(seq=len(self._events), driver=self._driver,
                           kind=kind, name=name, attrs=attrs)
@@ -168,6 +172,26 @@ class EventLog:
         path.write_text(self.to_jsonl(), encoding="utf-8")
         return path
 
+    def export_tail(self, start: int) -> list[dict[str, Any]]:
+        """Events from position ``start`` onward as JSON-able dicts.
+
+        With :meth:`truncate`, this is the capture primitive the DAG
+        scheduler uses: snapshot ``len(log)`` before a stage, export
+        the stage's block after it, truncate, and re-:meth:`adopt` the
+        blocks in canonical order at the end of the graph — so every
+        valid dispatch order serializes to the same timeline.
+        """
+        with self._lock:
+            return [event.to_dict() for event in self._events[start:]]
+
+    def truncate(self, start: int) -> int:
+        """Drop events from position ``start`` onward; returns how many
+        were removed (see :meth:`export_tail`)."""
+        with self._lock:
+            removed = max(len(self._events) - start, 0)
+            del self._events[start:]
+            return removed
+
     def adopt(self, records: Iterable[dict[str, Any]]) -> int:
         """Append externally recorded events, reassigning sequence
         numbers.
@@ -213,7 +237,7 @@ def events_enabled() -> bool:
     return _enabled
 
 
-def emit(kind: str, name: str, **attrs: Any) -> None:
+def emit(kind: str, name: str, /, **attrs: Any) -> None:
     """Record one event on the global log; no-op while disabled."""
     if _enabled:
         EVENTS.emit(kind, name, **attrs)

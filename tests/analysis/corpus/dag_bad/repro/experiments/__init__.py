@@ -1,0 +1,5 @@
+"""Corpus fixture: registry for a DAG driver with broken stages."""
+
+from . import dagbroken
+
+ALL_EXPERIMENTS = (dagbroken,)

@@ -1,0 +1,50 @@
+"""Corpus fixture: DAG driver whose Stage declarations are broken.
+
+Four stage-contract violations: an undeclared input, an uncovered
+required parameter, a non-module-level fn, and a returned-outputs
+mismatch.  The base driver contract (run/render/COLUMNS/
+ExperimentResult) is satisfied so only the stage half fires.
+"""
+
+COLUMNS = ["channel", "power_mw"]
+
+
+def stage_prepare(base):
+    return {"table": [base]}
+
+
+def stage_compute(table, gain):
+    return {"scaled": [value * gain for value in table]}
+
+
+def stage_report(scaled):
+    result = ExperimentResult(  # noqa: F821 - shape only, never run
+        name="dagbroken", rows=[{"channel": 1, "power_mw": scaled[0]}],
+        columns=COLUMNS)
+    return {"result": result, "rows": scaled}
+
+
+def build_graph():
+    return ExperimentGraph(  # noqa: F821 - shape only, never run
+        name="dagbroken", params={"base": 1.0}, stages=(
+            Stage("prepare", stage_prepare,  # noqa: F821
+                  inputs=("base", "extra"), outputs=("table",)),
+            Stage("compute", stage_compute,  # noqa: F821
+                  inputs=("table",), outputs=("scaled",)),
+            Stage("inline", lambda values: values,  # noqa: F821
+                  inputs=("scaled",), outputs=("echoed",)),
+            Stage("report", stage_report,  # noqa: F821
+                  inputs=("scaled",), outputs=("result",)),
+        ))
+
+
+def run():
+    with span("dagbroken.rows"):  # noqa: F821 - shape only, never run
+        rows = [{"channel": 1, "power_mw": 0.5}]
+    set_gauge("dagbroken.n_rows", len(rows))  # noqa: F821
+    return ExperimentResult(  # noqa: F821 - contract shape, never run
+        name="dagbroken", rows=rows, columns=COLUMNS)
+
+
+def render(result):
+    return str(result)

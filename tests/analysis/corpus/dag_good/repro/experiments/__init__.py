@@ -1,0 +1,5 @@
+"""Corpus fixture: registry for a clean DAG driver."""
+
+from . import dagok
+
+ALL_EXPERIMENTS = (dagok,)

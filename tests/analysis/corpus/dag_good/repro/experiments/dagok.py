@@ -1,0 +1,50 @@
+"""Corpus fixture: DAG driver whose Stage declarations are clean.
+
+Covers the skip paths too: a seeded fan-out stage with dynamic names
+(output checking falls back to the runtime contract) and a ``**kwargs``
+merge stage (opted out of the static signature half).
+"""
+
+COLUMNS = ["channel", "power_mw"]
+
+
+def stage_prepare(base):
+    return {"table": [base]}
+
+
+def stage_shard(table, index, seed):
+    return {f"shard_{index}": (table, seed)}
+
+
+def stage_report(**shards):
+    rows = [{"channel": 1, "power_mw": 0.5}]
+    result = ExperimentResult(  # noqa: F821 - shape only, never run
+        name="dagok", rows=rows, columns=COLUMNS)
+    return {"result": result}
+
+
+def build_graph():
+    stages = [Stage("prepare", stage_prepare,  # noqa: F821
+                    inputs=("base",), outputs=("table",))]
+    for index in range(2):
+        stages.append(Stage(  # noqa: F821
+            f"shard_{index}", stage_shard, inputs=("table",),
+            consts={"index": index}, seed_label=f"shard{index}",
+            outputs=(f"shard_{index}",)))
+    stages.append(Stage("report", stage_report,  # noqa: F821
+                        inputs=("shard_0", "shard_1"),
+                        outputs=("result",)))
+    return ExperimentGraph(  # noqa: F821 - shape only, never run
+        name="dagok", params={"base": 1.0}, stages=tuple(stages))
+
+
+def run():
+    with span("dagok.rows"):  # noqa: F821 - shape only, never run
+        rows = [{"channel": 1, "power_mw": 0.5}]
+    set_gauge("dagok.n_rows", len(rows))  # noqa: F821
+    return ExperimentResult(  # noqa: F821 - contract shape, never run
+        name="dagok", rows=rows, columns=COLUMNS)
+
+
+def render(result):
+    return str(result)

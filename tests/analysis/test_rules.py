@@ -19,7 +19,7 @@ CORPUS = Path(__file__).parent / "corpus"
 EXPECTED_BY_RULE = {
     "determinism": 5,
     "driver-telemetry": 4,
-    "experiment-contract": 5,
+    "experiment-contract": 9,
     "export-hygiene": 3,
     "parity-oracle": 2,
     "pipe-transfer": 4,
@@ -123,6 +123,20 @@ def test_contract_rule_broken_driver_and_missing_module():
 
 def test_contract_rule_clean_driver():
     assert analyze_paths([CORPUS / "contracts_good"]) == []
+
+
+def test_contract_rule_dag_stage_declarations():
+    findings = analyze_paths([CORPUS / "dag_bad"])
+    assert [f.rule for f in findings] == ["experiment-contract"] * 4
+    blob = " | ".join(f.message for f in findings)
+    assert "declared values ['extra'] are not parameters" in blob
+    assert "required parameters ['gain'] of stage_compute()" in blob
+    assert "fn must be a module-level function" in blob
+    assert "returns keys ['result', 'rows'] but declares outputs" in blob
+
+
+def test_contract_rule_clean_dag_driver():
+    assert analyze_paths([CORPUS / "dag_good"]) == []
 
 
 def test_export_rule_catalogue():

@@ -1,0 +1,63 @@
+"""Shared harness for the DAG scheduler suite.
+
+Every equivalence test in this package compares full *artifact
+triples* — CSV bytes, manifest structure (volatile provenance fields
+stripped), and the serialized event timeline — captured by
+:func:`capture_run` under freshly reset telemetry.  The fixtures keep
+the process-wide observability substrates enabled for the duration of a
+module and restore the disabled default afterwards, so the rest of the
+suite still exercises the no-op instrumentation paths.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+import pytest
+
+from repro import obs
+from repro.obs import EVENTS, REGISTRY, TRACER
+
+#: Manifest fields that legitimately differ between byte-identical
+#: runs (clock, wall time, allocator high-water mark).
+VOLATILE_MANIFEST_FIELDS = ("created_unix_s", "duration_s",
+                            "peak_rss_bytes")
+
+
+def reset_telemetry() -> None:
+    """Clear spans, metrics, and events collected so far."""
+    TRACER.reset()
+    REGISTRY.reset()
+    EVENTS.reset()
+
+
+def capture_run(runner: Callable[[], Any],
+                directory: Path) -> tuple[bytes, dict, str]:
+    """Run one driver under fresh telemetry and capture its artifacts.
+
+    Returns ``(csv_bytes, manifest_without_volatile_fields,
+    events_jsonl_text)`` — the triple that must be invariant across
+    dispatch orders and worker counts.
+    """
+    reset_telemetry()
+    result = runner()
+    result.save_csv(directory)
+    csv_bytes = (directory / f"{result.name}.csv").read_bytes()
+    manifest = json.loads(
+        (directory / f"{result.name}.manifest.json").read_text())
+    for name in VOLATILE_MANIFEST_FIELDS:
+        manifest.pop(name, None)
+    return csv_bytes, manifest, EVENTS.to_jsonl()
+
+
+@pytest.fixture(scope="module")
+def telemetry():
+    """Module-scoped: observability on, restored to disabled after."""
+    obs.enable_all()
+    try:
+        yield
+    finally:
+        reset_telemetry()
+        obs.disable_all()

@@ -1,0 +1,164 @@
+"""Chaos under the DAG scheduler: fault plans replayed per node.
+
+Worker crashes, hangs, and cache corruption from :mod:`repro.fault`
+plans are applied at node granularity.  The claims under test:
+
+* a faulted node retries within its bounded budget and *only* that
+  node re-runs (per-node run counters prove it);
+* recovery reproduces the clean run's CSV bytes exactly;
+* an exhausted budget raises :class:`DagNodeError` naming the node,
+  which the resilient CLI path degrades to a recorded-failure row;
+* a hung pool node is preempted by its timeout (the serial scheduler
+  cannot preempt, so timeouts are a pool-dispatch contract);
+* a corrupted cache entry is quarantined and recomputed while every
+  other node still replays from cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import DagNodeError, run_module_dag
+from repro.experiments import (fig7, is_recorded_failure,
+                               run_module_resilient)
+from repro.fault.injector import FaultInjector
+from repro.fault.plan import FaultPlan, RetryPolicy, WorkerFaults
+from repro.obs import REGISTRY
+from repro.perf.pool import shutdown_pool
+
+from tests.dag.conftest import capture_run
+
+SEED = 7
+
+
+def crash_plan(node: str, attempts: int,
+               max_retries: int = 2) -> FaultPlan:
+    return FaultPlan(
+        worker=WorkerFaults(crash={node: attempts}),
+        retry=RetryPolicy(max_retries=max_retries, backoff_s=0.0))
+
+
+def runs(node: str) -> float:
+    return REGISTRY.counter(f"dag.node_runs.fig7.{node}")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_lifecycle(telemetry):
+    try:
+        yield
+    finally:
+        shutdown_pool()
+
+
+@pytest.fixture(scope="module")
+def clean_csv(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("clean")
+    csv_bytes, _, _ = capture_run(
+        lambda: run_module_dag(fig7, seed=SEED), directory)
+    return csv_bytes
+
+
+class TestSerialFaults:
+    def test_crash_recovers_and_only_faulted_node_reruns(
+            self, clean_csv, tmp_path):
+        plan = crash_plan("fig7.sweep", 1)
+        injector = FaultInjector(plan)
+        csv_bytes, _, _ = capture_run(
+            lambda: run_module_dag(fig7, seed=SEED, fault_plan=plan,
+                                   injector=injector), tmp_path)
+        assert csv_bytes == clean_csv
+        assert injector.counters == {"injected": 1, "recovered": 1,
+                                     "failed": 0}
+        assert runs("sweep") == 2
+        assert runs("setup") == 1
+        assert runs("multipliers") == 1
+        assert runs("report") == 1
+        assert REGISTRY.counter("dag.node_retries") == 1
+        assert REGISTRY.counter("dag.node_failures") == 1
+
+    def test_exhausted_budget_raises_naming_the_node(self, tmp_path):
+        plan = crash_plan("fig7.sweep", 5, max_retries=1)
+        injector = FaultInjector(plan)
+        with pytest.raises(DagNodeError,
+                           match=r"node fig7\.sweep failed after 2 "
+                                 r"attempt\(s\)"):
+            capture_run(
+                lambda: run_module_dag(fig7, seed=SEED,
+                                       fault_plan=plan,
+                                       injector=injector), tmp_path)
+        assert injector.counters["failed"] == 1
+        assert runs("sweep") == 2
+        # Downstream nodes never started.
+        assert runs("report") == 0
+
+    def test_resilient_path_degrades_to_recorded_failure(self):
+        plan = crash_plan("fig7.sweep", 5, max_retries=0)
+
+        def runner(module, seed=None):
+            return run_module_dag(module, seed=seed, fault_plan=plan)
+
+        result = run_module_resilient(fig7, seed=SEED, max_retries=0,
+                                      backoff_s=0.0, runner=runner)
+        assert is_recorded_failure(result)
+        row = result.rows[0]
+        assert row["driver"] == "fig7"
+        assert row["status"] == "failed"
+        assert "fig7.sweep" in row["error"]
+
+
+class TestPoolFaults:
+    def test_pool_crash_recovers_with_identical_bytes(self, clean_csv,
+                                                      tmp_path):
+        plan = crash_plan("fig7.multipliers", 1)
+        injector = FaultInjector(plan)
+        csv_bytes, _, _ = capture_run(
+            lambda: run_module_dag(fig7, seed=SEED, jobs=2,
+                                   fault_plan=plan,
+                                   injector=injector), tmp_path)
+        assert csv_bytes == clean_csv
+        assert injector.counters["injected"] == 1
+        assert injector.counters["recovered"] == 1
+        assert runs("multipliers") == 2
+        assert runs("sweep") == 1
+
+    def test_pool_hang_is_preempted_by_timeout(self, tmp_path):
+        plan = FaultPlan(
+            worker=WorkerFaults(hang_s={"fig7.sweep": 30.0}),
+            retry=RetryPolicy(max_retries=0, backoff_s=0.0,
+                              timeout_s=0.5))
+        with pytest.raises(DagNodeError, match=r"fig7\.sweep"):
+            capture_run(
+                lambda: run_module_dag(fig7, seed=SEED, jobs=2,
+                                       fault_plan=plan), tmp_path)
+
+
+class TestCacheCorruption:
+    def test_corrupt_entry_quarantined_and_recomputed(self, clean_csv,
+                                                      tmp_path):
+        import json
+
+        from repro.cache.store import CacheStore
+
+        store = CacheStore(tmp_path / ".cache")
+        capture_run(lambda: run_module_dag(fig7, seed=SEED,
+                                           store=store),
+                    tmp_path / "cold")
+        # Garbage-write exactly the sweep node's entry.
+        [sweep_entry] = [
+            path for path in store.root.glob("??/*.json")
+            if json.loads(path.read_text())["label"] == "fig7.sweep"]
+        sweep_entry.write_text("{ not json", encoding="utf-8")
+
+        warm = tmp_path / "warm"
+        warm.mkdir()
+        csv_bytes, _, _ = capture_run(
+            lambda: run_module_dag(fig7, seed=SEED, store=store), warm)
+        assert csv_bytes == clean_csv
+        # The corrupt node recomputes; everything else replays.
+        assert REGISTRY.counter("cache.node_misses.fig7.sweep") == 1
+        assert REGISTRY.counter("cache.node_hits") == 3
+        assert REGISTRY.counter("cache.corruption") == 1
+        assert runs("sweep") == 1
+        assert runs("report") == 0
+        quarantined = list(store.quarantine_dir.iterdir())
+        assert [path.name for path in quarantined] == [sweep_entry.name]

@@ -1,0 +1,97 @@
+"""CLI surface of the DAG layer: ``dag show`` and ``evaluate --dag``.
+
+``dag show`` is golden-tested against the exact rendered listing (the
+graph shape is part of the public contract), and ``evaluate --dag``
+must write CSVs byte-identical to the plain imperative ``evaluate`` —
+serial and with node-level parallelism, cached and not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.perf.pool import shutdown_pool
+
+FIG7_LISTING = """\
+experiment fig7: 4 stage(s)
+  params: budget=None
+  setup: [budget] -> [link_budget, socs]
+  sweep: [socs, link_budget] -> [rows]
+    after: setup
+  multipliers: [socs, link_budget] -> [realizable, max_at_20, max_at_100]
+    after: setup
+  report: [rows, realizable, max_at_20, max_at_100] -> [result]
+    after: sweep, multipliers
+"""
+
+
+def csv_bytes(directory):
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("*.csv"))}
+
+
+class TestDagShow:
+    def test_fig7_golden_listing(self, capsys):
+        assert main(["dag", "show", "fig7"]) == 0
+        assert capsys.readouterr().out == FIG7_LISTING
+
+    def test_fleet_listing_names_seed_stream(self, capsys):
+        assert main(["dag", "show", "fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment fleet: 3 stage(s)" in out
+        assert "params: base_seed=None" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["dag", "show", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        assert "'fig7'" in err  # the listing names the graphed drivers
+
+    def test_imperative_only_driver_exits_2(self, capsys):
+        assert main(["dag", "show", "fig4"]) == 2
+        assert "no experiment graph" in capsys.readouterr().err
+
+
+class TestEvaluateDag:
+    @pytest.fixture(scope="class", autouse=True)
+    def _pool(self):
+        try:
+            yield
+        finally:
+            shutdown_pool()
+
+    def test_dag_csvs_match_imperative(self, capsys, tmp_path):
+        names = ["table1", "fig7", "frontier", "fleet"]
+        imperative = tmp_path / "imperative"
+        dag_serial = tmp_path / "dag_serial"
+        dag_pool = tmp_path / "dag_pool"
+        base = ["evaluate", *names, "--seed", "7"]
+        assert main([*base, "--output-dir", str(imperative)]) == 0
+        assert main([*base, "--dag",
+                     "--output-dir", str(dag_serial)]) == 0
+        assert main([*base, "--dag", "--jobs", "2",
+                     "--output-dir", str(dag_pool)]) == 0
+        capsys.readouterr()
+        want = csv_bytes(imperative)
+        assert set(want) == {f"{name}.csv" for name in names}
+        assert csv_bytes(dag_serial) == want
+        assert csv_bytes(dag_pool) == want
+
+    def test_dag_cache_warm_run_matches(self, capsys, tmp_path):
+        base = ["evaluate", "fig7", "--seed", "7", "--dag", "--cache",
+                "--output-dir", str(tmp_path)]
+        assert main(base) == 0
+        cold = csv_bytes(tmp_path)
+        assert (tmp_path / ".cache").is_dir()
+        assert main(base) == 0
+        capsys.readouterr()
+        assert csv_bytes(tmp_path) == cold
+
+    def test_dag_falls_back_for_unported_drivers(self, capsys,
+                                                 tmp_path):
+        # fig4 has no graph; --dag must still evaluate it imperatively.
+        assert main(["evaluate", "fig4", "--seed", "7", "--dag",
+                     "--output-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "fig4.csv").exists()

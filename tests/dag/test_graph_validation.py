@@ -1,0 +1,217 @@
+"""Construction-time validation of :class:`repro.dag.ExperimentGraph`.
+
+A graph that exists can always be scheduled: every malformed shape —
+duplicate names, undeclared inputs, cycles (which necessarily violate
+the declaration-order rule), output collisions, reserved-name abuse —
+must be rejected with :class:`GraphError` at construction, and the
+stage/function contract with ``TypeError`` from
+:meth:`Stage.check_signature`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import ExperimentGraph, GraphError, Stage
+
+
+def make(**values):
+    return {"made": values}
+
+
+def produce():
+    return {"a": 1}
+
+
+def consume(a):
+    return {"b": a + 1}
+
+
+def chain_graph():
+    return ExperimentGraph(name="chain", stages=(
+        Stage("first", produce, outputs=("a",)),
+        Stage("second", consume, inputs=("a",), outputs=("b",)),
+    ))
+
+
+class TestStageContract:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name must be non-empty"):
+            Stage("", produce)
+
+    def test_non_callable_fn_rejected(self):
+        with pytest.raises(TypeError, match="fn is not callable"):
+            Stage("bad", fn="not-a-function")
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError, match="retry must be >= 0"):
+            Stage("bad", produce, retry=-1)
+
+    def test_undeclared_parameter_rejected(self):
+        stage = Stage("bad", consume, inputs=("a", "mystery"),
+                      outputs=("b",))
+        with pytest.raises(TypeError,
+                           match=r"declared values \['mystery'\]"):
+            stage.check_signature()
+
+    def test_uncovered_required_parameter_rejected(self):
+        stage = Stage("bad", consume, outputs=("b",))
+        with pytest.raises(TypeError,
+                           match=r"required parameters \['a'\]"):
+            stage.check_signature()
+
+    def test_seed_label_covers_seed_parameter(self):
+        def seeded(a, seed):
+            return {"b": (a, seed)}
+
+        Stage("ok", seeded, inputs=("a",), seed_label="s",
+              outputs=("b",)).check_signature()
+        with pytest.raises(TypeError,
+                           match=r"required parameters \['seed'\]"):
+            Stage("bad", seeded, inputs=("a",),
+                  outputs=("b",)).check_signature()
+
+    def test_var_keyword_opts_out_of_signature_check(self):
+        stage = Stage("merge", make, inputs=("anything", "at_all"),
+                      outputs=("made",))
+        stage.check_signature()  # **values accepts everything
+
+    def test_check_outputs_exact_match(self):
+        stage = Stage("first", produce, outputs=("a",))
+        stage.check_outputs({"a": 1})
+        with pytest.raises(ValueError,
+                           match=r"missing=\['a'\], undeclared=\['z'\]"):
+            stage.check_outputs({"z": 1})
+        with pytest.raises(TypeError, match="must return a dict"):
+            stage.check_outputs([("a", 1)])
+
+    def test_call_kwargs_binds_inputs_consts_and_seed(self):
+        def seeded(a, gain, seed):
+            return {"b": a * gain + seed}
+
+        stage = Stage("node", seeded, inputs=("a",),
+                      consts={"gain": 3}, seed_label="s",
+                      outputs=("b",))
+        kwargs = stage.call_kwargs({"a": 2, "unrelated": 9}, seed=11)
+        assert kwargs == {"a": 2, "gain": 3, "seed": 11}
+
+
+class TestGraphValidation:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(GraphError, match="duplicate stage name"):
+            ExperimentGraph(name="dup", stages=(
+                Stage("node", produce, outputs=("a",)),
+                Stage("node", consume, inputs=("a",), outputs=("b",)),
+            ))
+
+    def test_undeclared_input_rejected(self):
+        with pytest.raises(GraphError,
+                           match="neither a parameter nor an output"):
+            ExperimentGraph(name="bad", stages=(
+                Stage("second", consume, inputs=("a",),
+                      outputs=("b",)),
+            ))
+
+    def test_out_of_order_declaration_rejected(self):
+        # Declaration order IS the canonical order, so a consumer
+        # declared before its producer (the 2-node rendering of a
+        # cycle) is rejected outright.
+        with pytest.raises(GraphError,
+                           match="undeclared input, cycle, or "
+                                 "out-of-order"):
+            ExperimentGraph(name="bad", stages=(
+                Stage("second", consume, inputs=("a",),
+                      outputs=("b",)),
+                Stage("first", produce, outputs=("a",)),
+            ))
+
+    def test_output_collision_rejected(self):
+        with pytest.raises(GraphError, match="produced by both"):
+            ExperimentGraph(name="bad", stages=(
+                Stage("first", produce, outputs=("a",)),
+                Stage("again", produce, outputs=("a",)),
+            ))
+
+    def test_output_param_collision_rejected(self):
+        with pytest.raises(GraphError, match="collides with a parameter"):
+            ExperimentGraph(name="bad", params={"a": 0}, stages=(
+                Stage("first", produce, outputs=("a",)),
+            ))
+
+    def test_reserved_seed_name_rejected(self):
+        with pytest.raises(GraphError, match="reserved for seed"):
+            ExperimentGraph(name="bad", params={"seed": 1}, stages=(
+                Stage("first", produce, outputs=("a",)),
+            ))
+        with pytest.raises(GraphError, match="reserved for seed"):
+            ExperimentGraph(name="bad", stages=(
+                Stage("first", produce, outputs=("seed",)),
+            ))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError, match="has no stages"):
+            ExperimentGraph(name="empty", stages=())
+
+    def test_bad_stage_signature_rejected_at_construction(self):
+        with pytest.raises(TypeError, match="required parameters"):
+            ExperimentGraph(name="bad", stages=(
+                Stage("second", consume, outputs=("b",)),
+            ))
+
+
+class TestGraphStructure:
+    def test_lookup_producers_dependencies(self):
+        graph = chain_graph()
+        assert graph.stage("second").fn is consume
+        with pytest.raises(KeyError):
+            graph.stage("ghost")
+        assert graph.producers == {"a": "first", "b": "second"}
+        assert graph.dependencies(graph.stage("second")) == ("first",)
+        assert graph.dependencies(graph.stage("first")) == ()
+
+    def test_order_validation(self):
+        graph = chain_graph()
+        assert graph.topological_order() == ("first", "second")
+        assert graph.is_valid_order(("first", "second"))
+        assert not graph.is_valid_order(("second", "first"))
+        assert not graph.is_valid_order(("first",))
+        assert not graph.is_valid_order(("first", "first"))
+
+    def test_topological_orders_enumerates_diamonds(self):
+        def split(a):
+            return {"left": a, "right": a}
+
+        def join(left, right):
+            return {"joined": (left, right)}
+
+        graph = ExperimentGraph(name="diamond", stages=(
+            Stage("source", produce, outputs=("a",)),
+            Stage("fan", split, inputs=("a",),
+                  outputs=("left", "right")),
+            Stage("use_left", consume, inputs=("a",), outputs=("b",)),
+            Stage("join", join, inputs=("left", "right"),
+                  outputs=("joined",)),
+        ))
+        orders = list(graph.topological_orders())
+        assert len(orders) == 3  # use_left floats between the others
+        assert all(graph.is_valid_order(order) for order in orders)
+        assert len(set(orders)) == len(orders)
+
+    def test_random_order_is_valid_and_seed_stable(self):
+        graph = chain_graph()
+        for seed in range(20):
+            order = graph.random_order(seed)
+            assert graph.is_valid_order(order)
+            assert order == graph.random_order(seed)
+
+    def test_render_lists_stages_and_policies(self):
+        graph = ExperimentGraph(name="shown", params={"a": 2}, stages=(
+            Stage("second", consume, inputs=("a",), outputs=("b",),
+                  retry=1, timeout_s=2.0, cache=False),
+        ))
+        text = graph.render()
+        assert "experiment shown: 1 stage(s)" in text
+        assert "params: a=2" in text
+        assert "second: [a] -> [b]" in text
+        assert "nocache" in text and "retry=1" in text
+        assert "timeout=2s" in text
